@@ -1,0 +1,110 @@
+// plugvolt-attack runs the published DVFS fault attacks against a chosen
+// defense on a simulated CPU — the experiment E1/E2 driver.
+//
+// Usage:
+//
+//	plugvolt-attack -cpu skylake -attack plundervolt -defense none
+//	plugvolt-attack -attack all -defense polling
+//	plugvolt-attack -matrix            # full attack x defense matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plugvolt"
+	"plugvolt/internal/attack"
+	"plugvolt/internal/defense"
+	"plugvolt/internal/report"
+)
+
+func main() {
+	var (
+		cpuName = flag.String("cpu", "skylake", "CPU model: skylake, kabylaker or cometlake")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		atkName = flag.String("attack", "plundervolt", "attack: plundervolt, voltjockey, v0ltpwn or all")
+		defName = flag.String("defense", "none", "defense: none, access-control, polling, microcode, clamp or all")
+		matrix  = flag.Bool("matrix", false, "run every attack against every defense")
+	)
+	flag.Parse()
+
+	attackNames := []string{*atkName}
+	defenseNames := []string{*defName}
+	if *matrix || *atkName == "all" {
+		attackNames = []string{"plundervolt", "voltjockey", "v0ltpwn"}
+	}
+	if *matrix || *defName == "all" {
+		defenseNames = []string{"none", "access-control", "polling", "microcode", "clamp"}
+	}
+
+	var results []*attack.Result
+	for _, dn := range defenseNames {
+		for _, an := range attackNames {
+			res, err := runOne(*cpuName, *seed, an, dn)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, res)
+		}
+	}
+	report.WriteAttackResults(os.Stdout, results)
+	fmt.Println()
+	for _, r := range results {
+		if r.Notes != "" {
+			fmt.Printf("  %s vs %s: %s\n", r.Attack, r.Defense, r.Notes)
+		}
+	}
+}
+
+// runOne boots a fresh system per combination so campaigns never share
+// state (crashes, characterization, module residue).
+func runOne(cpuName string, seed int64, attackName, defenseName string) (*attack.Result, error) {
+	sys, err := plugvolt.NewSystem(cpuName, seed)
+	if err != nil {
+		return nil, err
+	}
+	var cm plugvolt.Countermeasure = defense.None{}
+	if defenseName != "none" {
+		grid, err := sys.Characterize(plugvolt.QuickSweep())
+		if err != nil {
+			return nil, err
+		}
+		all, err := sys.Defenses(grid)
+		if err != nil {
+			return nil, err
+		}
+		switch defenseName {
+		case "access-control":
+			cm = all[1]
+		case "polling":
+			cm = all[2]
+		case "microcode":
+			cm = all[3]
+		case "clamp":
+			cm = all[4]
+		default:
+			return nil, fmt.Errorf("unknown defense %q", defenseName)
+		}
+	}
+	if err := cm.Install(sys.Env()); err != nil {
+		return nil, err
+	}
+	var atk attack.Attack
+	switch attackName {
+	case "plundervolt":
+		atk = attack.DefaultPlundervolt(seed)
+	case "voltjockey":
+		atk = attack.DefaultVoltJockey()
+	case "v0ltpwn":
+		atk = attack.DefaultV0LTpwn()
+	default:
+		return nil, fmt.Errorf("unknown attack %q", attackName)
+	}
+	return atk.Run(sys.Env(), cm.Name())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-attack:", err)
+	os.Exit(1)
+}

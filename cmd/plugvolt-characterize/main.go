@@ -1,0 +1,167 @@
+// plugvolt-characterize runs the paper's Algorithm 2 sweep on a simulated
+// CPU model and renders the Fig. 2/3/4 safe/unsafe map.
+//
+// Usage:
+//
+//	plugvolt-characterize -cpu skylake                 # ASCII heatmap
+//	plugvolt-characterize -cpu cometlake -csv          # raw grid CSV
+//	plugvolt-characterize -cpu kabylaker -json out.json
+//	plugvolt-characterize -paper                       # full 1 mV / 1M sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plugvolt"
+	"plugvolt/internal/core"
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/report"
+)
+
+func main() {
+	var (
+		cpuName  = flag.String("cpu", "skylake", "CPU model: skylake, kabylaker or cometlake")
+		seed     = flag.Int64("seed", 42, "experiment seed (replayable)")
+		paper    = flag.Bool("paper", false, "full paper sweep: 1 mV steps, 1M imuls/point (slower)")
+		csv      = flag.Bool("csv", false, "emit the raw grid as CSV instead of the heatmap")
+		jsonPath = flag.String("json", "", "also write the grid as JSON to this path")
+		classes  = flag.Bool("classes", false, "compare fault onsets across instruction classes (imul/aes/fma)")
+		seeds    = flag.Int("seeds", 1, "run N seeds and report onset spread + conservative aggregate")
+		adaptive = flag.Bool("adaptive", false, "bisect onsets instead of scanning the full grid")
+	)
+	flag.Parse()
+
+	sys, err := plugvolt.NewSystem(*cpuName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := plugvolt.QuickSweep()
+	if *paper {
+		cfg = plugvolt.PaperSweep()
+	}
+	if *classes {
+		runClassComparison(*cpuName, *seed, cfg)
+		return
+	}
+	if *seeds > 1 {
+		runMultiSeed(*cpuName, *seed, *seeds, cfg)
+		return
+	}
+	if *adaptive {
+		runAdaptive(sys, cfg)
+		return
+	}
+	cfg.Progress = func(freqKHz, done, total int) {
+		fmt.Fprintf(os.Stderr, "\rcharacterizing %s: %d/%d frequencies", sys.Platform.Spec.Codename, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	grid, err := sys.Characterize(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		if err := report.WriteGridCSV(os.Stdout, grid); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := report.WriteHeatmap(os.Stdout, grid); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := grid.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "grid written to %s\n", *jsonPath)
+	}
+}
+
+// runClassComparison sweeps the same machine with three instruction
+// classes and tabulates the onset curves — the measured form of the
+// paper's "imul is the most faultable instruction".
+func runClassComparison(cpuName string, seed int64, cfg plugvolt.CharacterizerConfig) {
+	var curves []report.OnsetCurve
+	for _, class := range []cpu.Class{cpu.ClassIMul, cpu.ClassAES, cpu.ClassFMA} {
+		sys, err := plugvolt.NewSystem(cpuName, seed)
+		if err != nil {
+			fatal(err)
+		}
+		c := cfg
+		c.Class = class
+		fmt.Fprintf(os.Stderr, "sweeping class %s...\n", class)
+		grid, err := sys.Characterize(c)
+		if err != nil {
+			fatal(err)
+		}
+		curves = append(curves, report.OnsetCurve{Label: string(class), Grid: grid})
+	}
+	if err := report.WriteOnsetCurves(os.Stdout, curves); err != nil {
+		fatal(err)
+	}
+}
+
+// runMultiSeed characterizes N seeds, reports the per-frequency onset
+// spread and the conservative aggregate's maximal safe state.
+func runMultiSeed(cpuName string, seed int64, n int, cfg plugvolt.CharacterizerConfig) {
+	var grids []*core.Grid
+	for i := 0; i < n; i++ {
+		sys, err := plugvolt.NewSystem(cpuName, seed+int64(i))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "seed %d/%d...\n", i+1, n)
+		grid, err := sys.Characterize(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		grids = append(grids, grid)
+	}
+	spreads, err := core.OnsetSpreads(grids)
+	if err != nil {
+		fatal(err)
+	}
+	report.WriteOnsetSpreads(os.Stdout, spreads)
+	agg, err := core.AggregateGrids(grids)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nconservative aggregate over %d seeds: maximal safe state %d mV\n",
+		n, agg.MaximalSafeOffsetMV(0))
+}
+
+// runAdaptive bisects each frequency's onset instead of scanning the grid.
+func runAdaptive(sys *plugvolt.System, cfg plugvolt.CharacterizerConfig) {
+	a, err := core.NewAdaptiveCharacterizer(sys.Platform, cfg, 2)
+	if err != nil {
+		fatal(err)
+	}
+	unsafe, results, err := a.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("adaptive onset probe — %s\n\n%-10s %10s %8s\n", unsafe.Model, "GHz", "onset mV", "probes")
+	total := 0
+	for _, r := range results {
+		onset := "-"
+		if r.Found {
+			onset = fmt.Sprintf("%d", r.OnsetMV)
+		}
+		fmt.Printf("%-10.1f %10s %8d\n", float64(r.FreqKHz)/1e6, onset, r.Probes)
+		total += r.Probes
+	}
+	points := len(results) * ((cfg.OffsetStartMV-cfg.OffsetEndMV)/(-cfg.OffsetStepMV) + 1)
+	fmt.Printf("\ntotal probes: %d (full sweep: %d grid points)\n", total, points)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-characterize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// plugvolt-guard demonstrates the deployed countermeasure: it
+// characterizes a machine, loads the polling module, unleashes a live
+// undervolting adversary, and reports interventions, fault counts, the
+// maximal safe state, and the Sec. 5 turnaround comparison (E3).
+//
+// Usage:
+//
+//	plugvolt-guard -cpu skylake
+//	plugvolt-guard -cpu cometlake -poll 250us -turnaround
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"plugvolt"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/report"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/victim"
+)
+
+func main() {
+	var (
+		cpuName    = flag.String("cpu", "skylake", "CPU model")
+		seed       = flag.Int64("seed", 42, "experiment seed")
+		poll       = flag.Duration("poll", 100*time.Microsecond, "guard poll period")
+		window     = flag.Duration("window", 50*time.Millisecond, "attack observation window (virtual)")
+		turnaround = flag.Bool("turnaround", true, "print the E3 turnaround comparison")
+	)
+	flag.Parse()
+
+	sys, err := plugvolt.NewSystem(*cpuName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== %s (%s, microcode %s)\n", sys.Platform.Spec.Name,
+		sys.Platform.Spec.Codename, sys.Platform.Spec.Microcode)
+
+	fmt.Println("-- S1: characterizing safe/unsafe states (Algorithm 2)...")
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		fatal(err)
+	}
+	unsafe := grid.UnsafeSet()
+	msv := grid.MaximalSafeOffsetMV(5)
+	fmt.Printf("   unsafe regions found at all %d frequencies; maximal safe state %d mV; %d reboots\n",
+		len(unsafe.OnsetMV), msv, grid.Reboots)
+
+	cfg := plugvolt.DefaultGuardConfig()
+	cfg.PollPeriod = sim.Duration(poll.Nanoseconds()) * sim.Nanosecond
+	pol, err := sys.DeployGuardConfig(grid, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("-- S2: kernel module %q loaded, polling every %v\n", "plug_your_volt", *poll)
+
+	// Live adversary: rewrite an unsafe offset on core 1 continually.
+	p := sys.Platform
+	freq := p.FreqKHz(1)
+	attackOffset := unsafe.OnsetMV[freq] - 60
+	attacker := p.Sim.Every(537*sim.Microsecond, func() {
+		_ = p.WriteOffsetViaMSR(1, attackOffset, msr.PlaneCore)
+	})
+	defer attacker.Stop()
+
+	faults := 0
+	deadline := p.Sim.Now() + sim.Duration(window.Nanoseconds())*sim.Nanosecond
+	for p.Sim.Now() < deadline {
+		p.Sim.RunFor(200 * sim.Microsecond)
+		loop, err := victim.NewIMulLoop(p.Core(1), 100_000)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := loop.RunBatch()
+		if err != nil {
+			fmt.Println("   MACHINE CRASHED under attack — guard failed")
+			os.Exit(2)
+		}
+		faults += res.Faults
+	}
+	fmt.Printf("-- attack: offset %d mV rewritten every 537us for %v (virtual)\n", attackOffset, *window)
+	fmt.Printf("   EXECUTE-thread faults: %d (paper: countermeasure completely eliminates faults)\n", faults)
+	fmt.Printf("   guard checks: %d, interventions: %d, last at %v\n",
+		pol.Guard.Checks, pol.Guard.Interventions, pol.Guard.LastIntervention)
+
+	if *turnaround {
+		fmt.Println("\n-- E3: worst-case unsafe-register dwell per deployment level")
+		wc := pol.Guard.WorstCaseTurnaround(20*sim.Microsecond, 0.5)
+		report.WriteTurnaround(os.Stdout, []report.TurnaroundRow{
+			{Deployment: "kernel module (Sec. 4.3)", WorstCase: wc.String(),
+				Note: "poll period + VR command latency + slew from sweep floor"},
+			{Deployment: "microcode (Sec. 5.1)", WorstCase: "0",
+				Note: "wrmsr to 0x150 is write-ignored before it commits"},
+			{Deployment: "clamp MSR (Sec. 5.2)", WorstCase: "0",
+				Note: "offset clamped to MSR_VOLTAGE_OFFSET_LIMIT in hardware"},
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-guard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// plugvolt-overhead regenerates Table 2: SPECrate2017 stand-in scores with
+// and without the polling kernel module, on Comet Lake as in the paper.
+//
+// Usage:
+//
+//	plugvolt-overhead
+//	plugvolt-overhead -cpu skylake -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plugvolt"
+	"plugvolt/internal/core"
+	"plugvolt/internal/report"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/spec"
+)
+
+func main() {
+	var (
+		cpuName  = flag.String("cpu", "cometlake", "CPU model (paper: cometlake)")
+		seed     = flag.Int64("seed", 2017, "experiment seed")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
+		sweep    = flag.Bool("sweep", false, "sweep poll periods and report the overhead/protection trade-off")
+		perCore  = flag.Bool("percore", false, "deploy one guard kthread per core instead of a single poller")
+	)
+	flag.Parse()
+	if *sweep {
+		runSweep(*cpuName, *seed, *perCore)
+		return
+	}
+
+	sys, err := plugvolt.NewSystem(*cpuName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "characterizing %s for the guard's unsafe set...\n", sys.Platform.Spec.Codename)
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		fatal(err)
+	}
+	gcfg := core.DefaultGuardConfig()
+	gcfg.PerCoreThreads = *perCore
+	guard, err := core.NewGuard(grid.UnsafeSet(), sys.Platform.Spec.BusMHz, gcfg)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := spec.NewHarness(sys.Platform, sys.Kernel, spec.DefaultHarnessConfig())
+	if err != nil {
+		fatal(err)
+	}
+	loadGuard := func(on bool) error {
+		loaded := sys.Kernel.Loaded(core.ModuleName)
+		switch {
+		case on && !loaded:
+			return sys.Kernel.Load(guard.Module())
+		case !on && loaded:
+			return sys.Kernel.Unload(core.ModuleName)
+		}
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "measuring 23 benchmarks x {base, peak} x {module off, on}...")
+	tab, err := h.MeasureTable(loadGuard, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if *markdown {
+		report.WriteTable2Markdown(os.Stdout, tab)
+	} else {
+		report.WriteTable2(os.Stdout, tab)
+	}
+}
+
+// runSweep measures the overhead/protection trade-off across poll periods:
+// the paper's Algorithm 3 leaves pacing unspecified, so this table is the
+// design-space view behind the default 100 us choice.
+func runSweep(cpuName string, seed int64, perCore bool) {
+	sys, err := plugvolt.NewSystem(cpuName, seed)
+	if err != nil {
+		fatal(err)
+	}
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		fatal(err)
+	}
+	unsafe := grid.UnsafeSet()
+	vrLatency := 20 * sim.Microsecond
+	// The rail-race bound is set by the *shallowest* onset anywhere in the
+	// table: that is the least voltage travel an attacker needs.
+	shallowest := -100000
+	for _, on := range unsafe.OnsetMV {
+		if on > shallowest {
+			shallowest = on
+		}
+	}
+	travel := vrLatency + sim.Duration(float64(-shallowest)/0.5)*sim.Microsecond
+	fmt.Printf("poll-period sweep on %s (per-core=%v); shallowest onset %d mV -> rail travel %v\n\n",
+		sys.Platform.Spec.Codename, perCore, shallowest, travel)
+	fmt.Printf("%-10s %14s %18s %16s\n", "period", "pinned cost", "worst turnaround", "rail-race margin")
+	for _, period := range []sim.Duration{20 * sim.Microsecond, 50 * sim.Microsecond,
+		100 * sim.Microsecond, 250 * sim.Microsecond, 1 * sim.Millisecond, 10 * sim.Millisecond} {
+		s2, err := plugvolt.NewSystem(cpuName, seed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultGuardConfig()
+		cfg.PollPeriod = period
+		cfg.PerCoreThreads = perCore
+		g, err := core.NewGuard(unsafe, s2.Platform.Spec.BusMHz, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s2.Kernel.Load(g.Module()); err != nil {
+			fatal(err)
+		}
+		window := 500 * sim.Millisecond
+		s2.Kernel.ResetStolenTime()
+		s2.RunFor(window)
+		frac := float64(s2.Kernel.StolenTime(0)) / float64(window) * 100
+		ta := g.WorstCaseTurnaround(vrLatency, 0.5)
+		// Positive margin: the register poll beats the rail's descent to
+		// the shallowest fault boundary; negative: the race is lost.
+		margin := travel - period
+		status := "+" + margin.String()
+		if margin < 0 {
+			status = "-" + (-margin).String() + " (RACE LOST)"
+		}
+		fmt.Printf("%-10v %13.3f%% %18v %16s\n", period, frac, ta, status)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-overhead:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package plugvolt_test
+
+import (
+	"fmt"
+
+	"plugvolt"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+)
+
+// Example shows the whole countermeasure lifecycle: characterize, deploy
+// the polling module, survive a live attack, and keep benign undervolting
+// working. Output is fully deterministic (seeded simulation).
+func Example() {
+	sys, err := plugvolt.NewSystem("skylake", 42)
+	if err != nil {
+		panic(err)
+	}
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		panic(err)
+	}
+	onset, _ := grid.OnsetMV(3_200_000)
+	fmt.Printf("fault onset at 3.2 GHz: %d mV\n", onset)
+	fmt.Printf("maximal safe state: %d mV\n", grid.MaximalSafeOffsetMV(0))
+
+	guard, err := sys.DeployGuard(grid)
+	if err != nil {
+		panic(err)
+	}
+	// Adversary writes a deeply unsafe offset; the guard rewrites the
+	// register before the regulator realizes the voltage.
+	if err := sys.Platform.WriteOffsetViaMSR(1, onset-60, msr.PlaneCore); err != nil {
+		panic(err)
+	}
+	sys.RunFor(2 * sim.Millisecond)
+	fmt.Printf("offset after guard intervention: %d mV\n", sys.Platform.Core(1).OffsetMV())
+	fmt.Printf("interventions: %d\n", guard.Guard.Interventions)
+
+	// A benign, safe undervolt on another core is left alone.
+	if err := sys.Platform.WriteOffsetViaMSR(2, grid.MaximalSafeOffsetMV(10), msr.PlaneCore); err != nil {
+		panic(err)
+	}
+	sys.RunFor(2 * sim.Millisecond)
+	fmt.Printf("benign offset preserved: %d mV\n", sys.Platform.Core(2).OffsetMV())
+
+	// Output:
+	// fault onset at 3.2 GHz: -115 mV
+	// maximal safe state: -70 mV
+	// offset after guard intervention: 0 mV
+	// interventions: 1
+	// benign offset preserved: -60 mV
+}

@@ -1,0 +1,80 @@
+// hwp_speedshift runs the countermeasure on a modern Speed Shift (HWP)
+// platform: the OS programs only a policy into IA32_HWP_REQUEST and the
+// hardware picks P-states autonomously. The frequency side of DVFS has
+// moved out of software — but the OC mailbox is still software-writable,
+// so the attack surface is intact, and the guard still works because it
+// polls the *effective* (frequency, offset) pair from PERF_STATUS rather
+// than trusting any request register.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plugvolt"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/pstate"
+	"plugvolt/internal/sim"
+)
+
+func main() {
+	sys, err := plugvolt.NewSystem("cometlake", 55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := sys.DeployGuard(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enable HWP autonomy with a bursty load signal.
+	load := 0.0
+	hwp, err := pstate.NewHWP(sys.Platform.Sim, sys.Platform, func(int) float64 { return load },
+		func(core int, d *msr.Descriptor) { sys.Platform.MSRFile(core).Declare(d) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	hwp.Start()
+	defer hwp.Stop()
+	fmt.Printf("machine: %s, HWP autonomy on, guard loaded\n\n", sys.Platform.Spec.Codename)
+
+	unsafe := grid.UnsafeSet()
+	fmt.Printf("%-8s %-12s %-14s %-14s %s\n", "load", "freq (GHz)", "offset (mV)", "interventions", "note")
+	phases := []struct {
+		name string
+		load float64
+		atk  bool
+	}{
+		{"idle", 0.05, false},
+		{"burst", 1.00, false},
+		{"attack", 1.00, true}, // adversary writes an unsafe offset at turbo
+		{"steady", 0.50, false},
+	}
+	for _, ph := range phases {
+		load = ph.load
+		if ph.atk {
+			freq := sys.Platform.FreqKHz(1)
+			if err := sys.Platform.WriteOffsetViaMSR(1, unsafe.OnsetMV[freq]-60, msr.PlaneCore); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sys.RunFor(20 * sim.Millisecond)
+		sys.Platform.SettleAll()
+		c := sys.Platform.Core(1)
+		fmt.Printf("%-8.2f %-12.1f %-14d %-14d %s\n",
+			ph.load, c.FreqGHz(), c.OffsetMV(), guard.Guard.Interventions, ph.name)
+	}
+	if sys.Platform.Core(1).OffsetMV() != 0 {
+		log.Fatal("guard did not restore the attacked offset")
+	}
+	if guard.Guard.Interventions == 0 {
+		log.Fatal("attack phase never triggered the guard")
+	}
+	fmt.Printf("\nHWP transitions: %d — autonomy ran the whole time;\n", hwp.Transitions)
+	fmt.Println("the guard saw every (frequency, offset) pair via PERF_STATUS and only")
+	fmt.Println("intervened on the attacked one.")
+}

@@ -1,0 +1,130 @@
+// minefield_bypass reproduces the paper's Sec. 4.1 threat-model argument
+// against deflection defenses: Minefield's trap instructions catch a naive
+// continuous undervolt, but an SGX-Step single-stepping adversary undervolts
+// only while payload instructions execute and restores the rail before any
+// trap runs — the traps never fire, the payload faults, and the defense is
+// bypassed. The paper's polling countermeasure does not depend on enclave
+// execution at all, so stepping buys the adversary nothing against it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"plugvolt"
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/defense"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sgx"
+	"plugvolt/internal/victim"
+)
+
+func main() {
+	sys, err := plugvolt.NewSystem("skylake", 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sys.Platform
+	c := p.Core(1)
+
+	// Attacker calibration: an offset that faults imul without crashing.
+	attackOffset := 0
+	for off := -1; off >= -400; off-- {
+		if err := p.WriteOffsetViaMSR(1, off, msr.PlaneCore); err != nil {
+			log.Fatal(err)
+		}
+		p.SettleAll()
+		if c.FaultProbability(cpu.ClassIMul) > 0.02 && c.CrashProbability() < 1e-9 {
+			attackOffset = off
+			break
+		}
+	}
+	restore := func() { _ = p.WriteOffsetViaMSR(1, 0, msr.PlaneCore); p.SettleAll() }
+	undervolt := func() { _ = p.WriteOffsetViaMSR(1, attackOffset, msr.PlaneCore); p.SettleAll() }
+	restore()
+	fmt.Printf("calibrated attack offset: %d mV\n\n", attackOffset)
+
+	mf := &defense.Minefield{Density: 3}
+
+	// --- Round 1: naive continuous undervolt -> trap fires. ---
+	inner, err := victim.NewIMulLoop(c, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := mf.Instrument(inner, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enclave, err := sys.Registry.Create("minefield-protected", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	undervolt()
+	err = enclave.Run(prog)
+	restore()
+	if !errors.Is(err, defense.ErrTrapped) {
+		log.Fatalf("naive attack was not detected: %v", err)
+	}
+	fmt.Printf("naive undervolt: DETECTED after %d traps, payload collected %d faults\n",
+		prog.Traps, inner.Faults)
+
+	// --- Round 2: SGX-Step adversary -> bypass. ---
+	inner2, err := victim.NewIMulLoop(c, 2_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog2, err := mf.Instrument(inner2, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stepper := sgx.NewStepper(p.Sim)
+	arm := func() {
+		if prog2.NextIsTrap() {
+			restore()
+		} else {
+			undervolt()
+		}
+	}
+	arm()
+	err = stepper.Run(prog2, func(int) error { arm(); return nil })
+	restore()
+	if errors.Is(err, defense.ErrTrapped) {
+		log.Fatal("stepping adversary tripped a trap")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-stepping:  BYPASSED — %d steps, %d traps executed, 0 fired, payload faults %d\n",
+		stepper.Steps, prog2.Traps, inner2.Faults)
+	if inner2.Faults == 0 {
+		log.Fatal("bypass produced no faults")
+	}
+
+	// --- Round 3: the polling guard vs the same stepping adversary. ---
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := sys.DeployGuard(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner3, err := victim.NewIMulLoop(c, 2_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stepping helps the adversary time the undervolt, but the guard polls
+	// the register between steps (each AEX costs ~10 us of wall time) and
+	// the rail physics never let the voltage reach fault depth.
+	arm3 := func() { _ = p.WriteOffsetViaMSR(1, attackOffset, msr.PlaneCore) }
+	arm3()
+	if err := stepper.Run(inner3, func(int) error { arm3(); return nil }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("polling guard:    HELD — stepping adversary induced %d faults (interventions %d)\n",
+		inner3.Faults, guard.Guard.Interventions)
+	if inner3.Faults != 0 {
+		log.Fatal("guard leaked faults under stepping")
+	}
+}

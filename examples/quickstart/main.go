@@ -1,0 +1,55 @@
+// Quickstart: boot a simulated Sky Lake, characterize its safe/unsafe DVFS
+// states (Algorithm 2), deploy the polling countermeasure (Algorithm 3),
+// and watch it defeat Plundervolt while leaving benign undervolting alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plugvolt"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+)
+
+func main() {
+	// 1. Boot a deterministic simulated machine.
+	sys, err := plugvolt.NewSystem("skylake", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted %s (%d cores)\n", sys.Platform.Spec.Name, sys.Platform.NumCores())
+
+	// 2. S1 — characterize the (frequency, voltage-offset) grid.
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	onset, _ := grid.OnsetMV(3_200_000)
+	fmt.Printf("at 3.2 GHz faults begin at %d mV; maximal safe state is %d mV\n",
+		onset, grid.MaximalSafeOffsetMV(0))
+
+	// 3. S2 — deploy the polling kernel module.
+	guard, err := sys.DeployGuard(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("polling countermeasure loaded:", guard.Name())
+
+	// 4. Run Plundervolt against the guarded machine.
+	res, err := plugvolt.NewPlundervolt(7).Run(sys.Env(), guard.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("guard interventions during the campaign: %d\n", guard.Guard.Interventions)
+
+	// 5. Benign undervolting still works: a safe offset is left alone.
+	benign := grid.MaximalSafeOffsetMV(10)
+	if err := sys.Platform.WriteOffsetViaMSR(2, benign, msr.PlaneCore); err != nil {
+		log.Fatal(err)
+	}
+	sys.RunFor(5 * sim.Millisecond)
+	fmt.Printf("benign undervolt of %d mV on core 2 still applied: %d mV (guard untouched)\n",
+		benign, sys.Platform.Core(2).OffsetMV())
+}

@@ -1,0 +1,3 @@
+module plugvolt
+
+go 1.22

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/msr"
+)
+
+// AdaptiveResult is the boundary found for one frequency by the adaptive
+// probe.
+type AdaptiveResult struct {
+	FreqKHz int
+	// OnsetMV is the shallowest offset classified non-safe; 0 mV means no
+	// unsafe state was found down to the floor.
+	OnsetMV int
+	// Found reports whether an unsafe state exists within the range.
+	Found bool
+	// Probes is the number of grid points measured for this frequency.
+	Probes int
+}
+
+// AdaptiveCharacterize is an extension beyond the paper's Algorithm 2: it
+// bisects each frequency's fault boundary instead of scanning the entire
+// offset axis, cutting measurements from O(|V|) to O(log |V|) per
+// frequency. Monotonicity of Eq. 1 in voltage (deeper undervolt is never
+// safer) makes bisection sound; the statistical fuzziness of the onset is
+// handled by re-probing each candidate `Confirm` times and treating any
+// fault as non-safe, which biases the boundary conservatively shallow.
+//
+// The result set is intentionally *onset-only* (exactly what the guard's
+// UnsafeSet consumes); crash boundaries are not charted. Probes that land
+// in the crash region still crash the machine (the deep bracket endpoint
+// always does), so expect one or two reboots per frequency — comparable to
+// the full sweep — but an order of magnitude fewer measurements.
+type AdaptiveCharacterizer struct {
+	P *cpu.Platform
+	// Cfg reuses the sweep parameters (victim core, iterations, offset
+	// range/step, dwell). Class selects the probe instruction.
+	Cfg CharacterizerConfig
+	// Confirm is how many independent batches probe each candidate point
+	// (>=1); more confirmations tighten the statistical boundary.
+	Confirm int
+
+	cp cpupowerSetter
+}
+
+// cpupowerSetter abstracts the frequency pinning (test seam).
+type cpupowerSetter interface {
+	FrequencySet(core, khz int) error
+}
+
+// NewAdaptiveCharacterizer validates the configuration.
+func NewAdaptiveCharacterizer(p *cpu.Platform, cfg CharacterizerConfig, confirm int) (*AdaptiveCharacterizer, error) {
+	// Reuse the sweep validation by constructing a throwaway sweeper.
+	ch, err := NewCharacterizer(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if confirm < 1 {
+		return nil, fmt.Errorf("core: confirm %d < 1", confirm)
+	}
+	return &AdaptiveCharacterizer{P: p, Cfg: cfg, Confirm: confirm, cp: ch.cp}, nil
+}
+
+// probe classifies one point by Confirm batches; any fault (or crash)
+// counts as non-safe. On crash the machine is rebooted and re-pinned to
+// freqKHz so the bisection can continue.
+func (a *AdaptiveCharacterizer) probe(freqKHz, offsetMV int) (safe bool, err error) {
+	p := a.P
+	if err := p.WriteOffsetViaMSR(a.Cfg.VictimCore, offsetMV, msr.PlaneCore); err != nil {
+		return false, err
+	}
+	p.SettleAll()
+	if a.Cfg.SettleWait > 0 {
+		p.Sim.RunFor(a.Cfg.SettleWait)
+	}
+	class := a.Cfg.Class
+	if class == "" {
+		class = cpu.ClassIMul
+	}
+	for i := 0; i < a.Confirm; i++ {
+		res, err := p.Core(a.Cfg.VictimCore).RunBatch(class, a.Cfg.Iterations)
+		if err != nil {
+			// Crash: deepest kind of non-safe. Recover and re-pin.
+			p.Reboot()
+			if err2 := a.cp.FrequencySet(a.Cfg.VictimCore, freqKHz); err2 != nil {
+				return false, err2
+			}
+			p.SettleAll()
+			return false, nil
+		}
+		if res.Faults > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FindOnset bisects the boundary at one frequency. The returned onset is
+// aligned to the sweep's offset grid (Cfg.OffsetStepMV).
+func (a *AdaptiveCharacterizer) FindOnset(freqKHz int) (AdaptiveResult, error) {
+	res := AdaptiveResult{FreqKHz: freqKHz}
+	if err := a.cp.FrequencySet(a.Cfg.VictimCore, freqKHz); err != nil {
+		return res, err
+	}
+	a.P.SettleAll()
+
+	step := -a.Cfg.OffsetStepMV // positive magnitude
+	loIdx := 0                  // shallow index: offset = Start + idx*StepMV
+	hiIdx := (a.Cfg.OffsetStartMV - a.Cfg.OffsetEndMV) / step
+	offsetAt := func(idx int) int { return a.Cfg.OffsetStartMV + idx*a.Cfg.OffsetStepMV }
+
+	// Establish the bracket: shallow end safe, deep end non-safe.
+	shallowSafe, err := a.probe(freqKHz, offsetAt(loIdx))
+	if err != nil {
+		return res, err
+	}
+	res.Probes++
+	if !shallowSafe {
+		res.Found = true
+		res.OnsetMV = offsetAt(loIdx)
+		return res, a.restore()
+	}
+	deepSafe, err := a.probe(freqKHz, offsetAt(hiIdx))
+	if err != nil {
+		return res, err
+	}
+	res.Probes++
+	if deepSafe {
+		// Entire range safe at this frequency.
+		return res, a.restore()
+	}
+	// Invariant: offsetAt(loIdx) safe, offsetAt(hiIdx) non-safe.
+	for hiIdx-loIdx > 1 {
+		mid := (loIdx + hiIdx) / 2
+		safe, err := a.probe(freqKHz, offsetAt(mid))
+		if err != nil {
+			return res, err
+		}
+		res.Probes++
+		if safe {
+			loIdx = mid
+		} else {
+			hiIdx = mid
+		}
+	}
+	res.Found = true
+	res.OnsetMV = offsetAt(hiIdx)
+	return res, a.restore()
+}
+
+// restore returns the victim to zero offset.
+func (a *AdaptiveCharacterizer) restore() error {
+	if err := a.P.WriteOffsetViaMSR(a.Cfg.VictimCore, 0, msr.PlaneCore); err != nil {
+		return err
+	}
+	a.P.SettleAll()
+	return nil
+}
+
+// Run probes every table frequency and compiles the guard-ready UnsafeSet.
+func (a *AdaptiveCharacterizer) Run() (*UnsafeSet, []AdaptiveResult, error) {
+	u := &UnsafeSet{
+		Model:    a.P.Spec.Codename,
+		OnsetMV:  map[int]int{},
+		FloorMV:  a.Cfg.OffsetEndMV,
+		FreqsKHz: a.P.FreqTableKHz(),
+	}
+	var all []AdaptiveResult
+	for _, f := range u.FreqsKHz {
+		r, err := a.FindOnset(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, r)
+		if r.Found {
+			u.OnsetMV[f] = r.OnsetMV
+		}
+	}
+	return u, all, nil
+}

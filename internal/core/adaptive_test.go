@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+)
+
+func adaptiveRig(t *testing.T, seed int64, confirm int) (*AdaptiveCharacterizer, CharacterizerConfig) {
+	t.Helper()
+	p := newPlatform(t, "skylake", seed)
+	cfg := quickSweepConfig()
+	a, err := NewAdaptiveCharacterizer(p, cfg, confirm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, cfg
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	p := newPlatform(t, "skylake", 1)
+	if _, err := NewAdaptiveCharacterizer(p, quickSweepConfig(), 0); err == nil {
+		t.Fatal("confirm 0 accepted")
+	}
+	bad := quickSweepConfig()
+	bad.Iterations = 0
+	if _, err := NewAdaptiveCharacterizer(p, bad, 1); err == nil {
+		t.Fatal("invalid sweep config accepted")
+	}
+}
+
+func TestAdaptiveFindOnsetMatchesFullSweep(t *testing.T) {
+	a, cfg := adaptiveRig(t, 201, 2)
+	// Full sweep as ground truth on an identically seeded twin machine.
+	twin := newPlatform(t, "skylake", 201)
+	ch, err := NewCharacterizer(twin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := ch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, freq := range []int{800_000, 1_600_000, 2_400_000, 3_200_000, 3_600_000} {
+		res, err := a.FindOnset(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("%d kHz: adaptive found no boundary", freq)
+		}
+		want, ok := grid.OnsetMV(freq)
+		if !ok {
+			t.Fatalf("%d kHz: full sweep found no onset", freq)
+		}
+		// The boundary is statistical: allow a few grid steps of slack
+		// (bisection probes different RNG draws than the linear scan).
+		diff := res.OnsetMV - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 4*(-cfg.OffsetStepMV) {
+			t.Errorf("%d kHz: adaptive onset %d vs sweep %d (diff %d mV)",
+				freq, res.OnsetMV, want, diff)
+		}
+		// Log-scale probe count: far fewer than the 70-point row scan.
+		if res.Probes > 12 {
+			t.Errorf("%d kHz: %d probes — bisection not logarithmic", freq, res.Probes)
+		}
+	}
+}
+
+func TestAdaptiveRunBuildsUnsafeSet(t *testing.T) {
+	a, _ := adaptiveRig(t, 202, 1)
+	rebootsBefore := a.P.Reboots
+	u, results, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 29 {
+		t.Fatalf("results %d", len(results))
+	}
+	if len(u.OnsetMV) != 29 {
+		t.Fatalf("boundaries for %d/29 frequencies", len(u.OnsetMV))
+	}
+	// The deep bracket endpoint and early mid-probes can crash: expect a
+	// couple of reboots per frequency at worst.
+	if got := a.P.Reboots - rebootsBefore; got > 3*29 {
+		t.Fatalf("adaptive probe rebooted %d times", got)
+	}
+	// Basic sanity: set is usable by the guard.
+	if !u.Contains(3_200_000, -300) {
+		t.Fatal("deep state not unsafe")
+	}
+	if u.Contains(3_200_000, -5) {
+		t.Fatal("shallow state unsafe")
+	}
+	totalProbes := 0
+	for _, r := range results {
+		totalProbes += r.Probes
+	}
+	fullSweepPoints := 29 * 70
+	if totalProbes*3 > fullSweepPoints {
+		t.Fatalf("adaptive used %d probes, not clearly cheaper than %d", totalProbes, fullSweepPoints)
+	}
+}
+
+func TestAdaptiveLeavesMachineClean(t *testing.T) {
+	a, _ := adaptiveRig(t, 203, 1)
+	if _, err := a.FindOnset(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.P.Crashed() {
+		t.Fatal("machine left crashed")
+	}
+	if got := a.P.Core(a.Cfg.VictimCore).OffsetMV(); got != 0 {
+		t.Fatalf("offset left at %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// AggregateGrids fuses characterization grids from multiple runs (different
+// seeds) of the *same* sweep into one conservative grid: a cell is Safe
+// only if every run found it safe, Crash if any run crashed there, Fault
+// otherwise. Fault onsets are statistical, so single-run grids carry
+// silicon-lottery-style noise; fusing runs the way a deployment would
+// (protect if any run faulted) tightens the boundary in the safe direction
+// only.
+func AggregateGrids(grids []*Grid) (*Grid, error) {
+	if len(grids) == 0 {
+		return nil, errors.New("core: nothing to aggregate")
+	}
+	ref := grids[0]
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	for _, g := range grids[1:] {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		if g.Model != ref.Model {
+			return nil, fmt.Errorf("core: mixing models %q and %q", ref.Model, g.Model)
+		}
+		if len(g.FreqsKHz) != len(ref.FreqsKHz) || len(g.OffsetsMV) != len(ref.OffsetsMV) {
+			return nil, errors.New("core: grids have different sweep axes")
+		}
+		for i := range g.FreqsKHz {
+			if g.FreqsKHz[i] != ref.FreqsKHz[i] {
+				return nil, errors.New("core: grids have different frequency axes")
+			}
+		}
+		for i := range g.OffsetsMV {
+			if g.OffsetsMV[i] != ref.OffsetsMV[i] {
+				return nil, errors.New("core: grids have different offset axes")
+			}
+		}
+	}
+	out := &Grid{
+		Model:      ref.Model,
+		Microcode:  ref.Microcode,
+		Seed:       -1, // composite
+		Iterations: ref.Iterations * len(grids),
+		FreqsKHz:   append([]int(nil), ref.FreqsKHz...),
+		OffsetsMV:  append([]int(nil), ref.OffsetsMV...),
+		Cells:      make([][]Classification, len(ref.FreqsKHz)),
+	}
+	for fi := range ref.FreqsKHz {
+		row := make([]Classification, len(ref.OffsetsMV))
+		for oi := range ref.OffsetsMV {
+			worst := Safe
+			for _, g := range grids {
+				if c := g.Cells[fi][oi]; c > worst {
+					worst = c
+				}
+			}
+			row[oi] = worst
+		}
+		out.Cells[fi] = row
+	}
+	for _, g := range grids {
+		out.Reboots += g.Reboots
+	}
+	return out, nil
+}
+
+// OnsetSpread summarizes run-to-run variation of the fault onset at one
+// frequency across grids.
+type OnsetSpread struct {
+	FreqKHz int
+	// MinMV / MaxMV are the shallowest and deepest onsets observed
+	// (negative mV; min is the most negative).
+	MinMV, MaxMV int
+	// MeanMV and StdMV characterize the distribution.
+	MeanMV, StdMV float64
+	// Runs is how many grids had an onset at this frequency.
+	Runs int
+}
+
+// OnsetSpreads computes per-frequency onset variation across grids with
+// identical axes (use after the AggregateGrids axis checks, or directly —
+// frequencies missing an onset in some run are reported with the runs that
+// had one).
+func OnsetSpreads(grids []*Grid) ([]OnsetSpread, error) {
+	if len(grids) == 0 {
+		return nil, errors.New("core: nothing to analyze")
+	}
+	ref := grids[0]
+	var out []OnsetSpread
+	for _, f := range ref.FreqsKHz {
+		var onsets []int
+		for _, g := range grids {
+			if on, ok := g.OnsetMV(f); ok {
+				onsets = append(onsets, on)
+			}
+		}
+		if len(onsets) == 0 {
+			continue
+		}
+		sp := OnsetSpread{FreqKHz: f, Runs: len(onsets), MinMV: onsets[0], MaxMV: onsets[0]}
+		sum := 0.0
+		for _, o := range onsets {
+			if o < sp.MinMV {
+				sp.MinMV = o
+			}
+			if o > sp.MaxMV {
+				sp.MaxMV = o
+			}
+			sum += float64(o)
+		}
+		sp.MeanMV = sum / float64(len(onsets))
+		var ss float64
+		for _, o := range onsets {
+			d := float64(o) - sp.MeanMV
+			ss += d * d
+		}
+		sp.StdMV = math.Sqrt(ss / float64(len(onsets)))
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/pstate"
+	"plugvolt/internal/sim"
+)
+
+// CharacterizerConfig parameterizes the Algorithm 2 sweep.
+type CharacterizerConfig struct {
+	// VictimCore runs the EXECUTE thread; DriverCore hosts the DVFS thread
+	// (distinct cores, as in the paper's two-thread framework).
+	VictimCore, DriverCore int
+	// Iterations is the EXECUTE-thread imul loop length per grid point
+	// (paper: one million).
+	Iterations int
+	// OffsetStartMV..OffsetEndMV, stepped by OffsetStepMV (negative),
+	// define the undervolt axis. Paper: V = {-1, -2, ..., -300}.
+	OffsetStartMV, OffsetEndMV, OffsetStepMV int
+	// SettleWait is extra dwell after programming a point before measuring,
+	// on top of waiting for the regulator to finish slewing.
+	SettleWait sim.Duration
+	// Class selects the EXECUTE-thread instruction class. The paper uses
+	// imul ("the imul instruction has the maximum probability of being
+	// faulted"); sweeping other classes measures that claim — shallower
+	// classes must show deeper onsets.
+	Class cpu.Class
+	// Progress, when set, is called after each frequency row completes.
+	Progress func(freqKHz, rowsDone, rowsTotal int)
+}
+
+// DefaultCharacterizerConfig matches the paper's sweep.
+func DefaultCharacterizerConfig() CharacterizerConfig {
+	return CharacterizerConfig{
+		VictimCore:    1,
+		DriverCore:    0,
+		Iterations:    1_000_000,
+		OffsetStartMV: -1,
+		OffsetEndMV:   -300,
+		OffsetStepMV:  -1,
+		SettleWait:    50 * sim.Microsecond,
+		Class:         cpu.ClassIMul,
+	}
+}
+
+// Characterizer runs the two-thread characterization framework of Sec. 4.2
+// against a platform: the DVFS thread walks the (frequency, offset) grid
+// through cpupower and MSR 0x150, and the EXECUTE thread's imul loop
+// detects faults.
+type Characterizer struct {
+	P   *cpu.Platform
+	cfg CharacterizerConfig
+	cp  *pstate.CPUPower
+}
+
+// NewCharacterizer validates the config against the platform.
+func NewCharacterizer(p *cpu.Platform, cfg CharacterizerConfig) (*Characterizer, error) {
+	if p == nil {
+		return nil, errors.New("core: nil platform")
+	}
+	if cfg.VictimCore == cfg.DriverCore {
+		return nil, errors.New("core: victim and driver must be distinct cores")
+	}
+	for _, c := range []int{cfg.VictimCore, cfg.DriverCore} {
+		if c < 0 || c >= p.NumCores() {
+			return nil, fmt.Errorf("core: no core %d", c)
+		}
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: iterations %d", cfg.Iterations)
+	}
+	if cfg.OffsetStepMV >= 0 {
+		return nil, errors.New("core: offset step must be negative")
+	}
+	if cfg.OffsetStartMV >= 0 || cfg.OffsetEndMV > cfg.OffsetStartMV {
+		return nil, fmt.Errorf("core: bad offset range %d..%d", cfg.OffsetStartMV, cfg.OffsetEndMV)
+	}
+	mgr, err := pstate.NewManager(p.Sim, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Characterizer{P: p, cfg: cfg, cp: &pstate.CPUPower{M: mgr}}, nil
+}
+
+// offsets materializes the sweep's offset axis.
+func (c *Characterizer) offsets() []int {
+	var out []int
+	for o := c.cfg.OffsetStartMV; o >= c.cfg.OffsetEndMV; o += c.cfg.OffsetStepMV {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Run executes Algorithm 2 and returns the characterization grid.
+func (c *Characterizer) Run() (*Grid, error) {
+	p := c.P
+	freqs := p.FreqTableKHz()
+	offs := c.offsets()
+	g := &Grid{
+		Model:      p.Spec.Codename,
+		Microcode:  p.Spec.Microcode,
+		Seed:       p.Seed(),
+		Iterations: c.cfg.Iterations,
+		FreqsKHz:   freqs,
+		OffsetsMV:  offs,
+		Cells:      make([][]Classification, len(freqs)),
+	}
+	rebootsBefore := p.Reboots
+
+	// Algorithm 2 lines 6-7: record the normal operating point.
+	origStatus, err := p.MSRFile(c.cfg.VictimCore).Read(msr.IA32PerfStatus)
+	if err != nil {
+		return nil, err
+	}
+	origRatio, _ := msr.DecodePerfStatus(origStatus)
+	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
+
+	for fi, freqKHz := range freqs {
+		row := make([]Classification, len(offs))
+		g.Cells[fi] = row
+		// Line 9: set core frequency through cpupower.
+		if err := c.cp.FrequencySet(c.cfg.VictimCore, freqKHz); err != nil {
+			return nil, fmt.Errorf("core: cpupower at %d kHz: %w", freqKHz, err)
+		}
+		crashed := false
+		for oi, offsetMV := range offs {
+			if crashed {
+				// Paper sweeps each frequency only until the first crash;
+				// deeper offsets are at least as bad (Eq. 1 monotone in V).
+				row[oi] = Crash
+				continue
+			}
+			cls, err := c.measurePoint(freqKHz, offsetMV)
+			if err != nil {
+				return nil, err
+			}
+			row[oi] = cls
+			if cls == Crash {
+				crashed = true
+				// Reboot restores stock settings; re-pin the row frequency
+				// is unnecessary (row is done), but restore the sweep's
+				// cpupower state for the next row.
+				p.Reboot()
+				c.resetCPUPower()
+			}
+		}
+		// Lines 13-14: restore normal frequency and voltage between rows.
+		if err := c.restore(origFreqKHz); err != nil {
+			return nil, err
+		}
+		if c.cfg.Progress != nil {
+			c.cfg.Progress(freqKHz, fi+1, len(freqs))
+		}
+	}
+	g.Reboots = p.Reboots - rebootsBefore
+	return g, nil
+}
+
+// resetCPUPower rebuilds the cpufreq manager after a reboot (module state
+// does not survive the crash).
+func (c *Characterizer) resetCPUPower() {
+	mgr, err := pstate.NewManager(c.P.Sim, c.P, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: cpufreq rebuild: %v", err)) // table already validated
+	}
+	c.cp = &pstate.CPUPower{M: mgr}
+}
+
+// measurePoint programs one (frequency, offset) pair and runs the EXECUTE
+// thread.
+func (c *Characterizer) measurePoint(freqKHz, offsetMV int) (Classification, error) {
+	p := c.P
+	// Line 10-11: compute the 0x150 value via Algorithm 1 and write it.
+	if err := p.WriteOffsetViaMSR(c.cfg.VictimCore, offsetMV, msr.PlaneCore); err != nil {
+		return Safe, err
+	}
+	p.SettleAll()
+	if c.cfg.SettleWait > 0 {
+		p.Sim.RunFor(c.cfg.SettleWait)
+	}
+	class := c.cfg.Class
+	if class == "" {
+		class = cpu.ClassIMul
+	}
+	res, err := p.Core(c.cfg.VictimCore).RunBatch(class, c.cfg.Iterations)
+	if err != nil {
+		if errors.Is(err, cpu.ErrCrashed) {
+			return Crash, nil
+		}
+		return Safe, err
+	}
+	if res.Faults > 0 {
+		return Fault, nil
+	}
+	return Safe, nil
+}
+
+// restore re-applies the original frequency and zero offset (Algorithm 2
+// lines 13-14).
+func (c *Characterizer) restore(origFreqKHz int) error {
+	if err := c.cp.FrequencySet(c.cfg.VictimCore, origFreqKHz); err != nil {
+		return err
+	}
+	if err := c.P.WriteOffsetViaMSR(c.cfg.VictimCore, 0, msr.PlaneCore); err != nil {
+		return err
+	}
+	c.P.SettleAll()
+	return nil
+}

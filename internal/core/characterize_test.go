@@ -1,0 +1,280 @@
+package core
+
+import (
+	"testing"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/sim"
+)
+
+func newPlatform(t *testing.T, model string, seed int64) *cpu.Platform {
+	t.Helper()
+	spec, err := models.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// quickSweepConfig is a coarser, faster variant of the paper's sweep for
+// unit tests (5 mV steps, 200k iterations).
+func quickSweepConfig() CharacterizerConfig {
+	cfg := DefaultCharacterizerConfig()
+	cfg.Iterations = 200_000
+	cfg.OffsetStartMV = -5
+	cfg.OffsetStepMV = -5
+	cfg.OffsetEndMV = -350
+	return cfg
+}
+
+func TestCharacterizerValidation(t *testing.T) {
+	p := newPlatform(t, "skylake", 1)
+	if _, err := NewCharacterizer(nil, DefaultCharacterizerConfig()); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	bad := DefaultCharacterizerConfig()
+	bad.VictimCore = bad.DriverCore
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("same victim/driver accepted")
+	}
+	bad = DefaultCharacterizerConfig()
+	bad.VictimCore = 99
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("bogus victim core accepted")
+	}
+	bad = DefaultCharacterizerConfig()
+	bad.Iterations = 0
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	bad = DefaultCharacterizerConfig()
+	bad.OffsetStepMV = 1
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("positive step accepted")
+	}
+	bad = DefaultCharacterizerConfig()
+	bad.OffsetStartMV = 5
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("positive start accepted")
+	}
+	bad = DefaultCharacterizerConfig()
+	bad.OffsetEndMV = -1
+	bad.OffsetStartMV = -100
+	if _, err := NewCharacterizer(p, bad); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestCharacterizationSweepSkyLake(t *testing.T) {
+	p := newPlatform(t, "skylake", 42)
+	var progressRows int
+	cfg := quickSweepConfig()
+	cfg.Progress = func(freqKHz, done, total int) { progressRows = done }
+	ch, err := NewCharacterizer(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("sweep produced invalid grid: %v", err)
+	}
+	if g.Model != "Sky Lake" || g.Microcode != "0xf0" {
+		t.Fatalf("grid identity: %s / %s", g.Model, g.Microcode)
+	}
+	if progressRows != len(g.FreqsKHz) {
+		t.Fatalf("progress rows %d", progressRows)
+	}
+	if len(g.FreqsKHz) != 29 {
+		t.Fatalf("frequency rows %d, want 29 (0.8..3.6 GHz at 0.1)", len(g.FreqsKHz))
+	}
+
+	for fi, f := range g.FreqsKHz {
+		row := g.Cells[fi]
+		// Shallow end must be safe; deep end must not be.
+		if row[0] != Safe {
+			t.Errorf("%d kHz: -5 mV not safe", f)
+		}
+		onset, ok := g.OnsetMV(f)
+		if !ok {
+			t.Errorf("%d kHz: entire sweep safe — no unsafe region found", f)
+			continue
+		}
+		crash, ok := g.CrashMV(f)
+		if !ok {
+			t.Errorf("%d kHz: no crash within sweep", f)
+			continue
+		}
+		if onset <= crash {
+			t.Errorf("%d kHz: onset %d not shallower than crash %d", f, onset, crash)
+		}
+		// A fault band (unsafe but running) exists: the attacker's window.
+		if g.FaultBandWidthMV(f) <= 0 {
+			t.Errorf("%d kHz: no fault band", f)
+		}
+	}
+
+	// Shape claim of Fig. 2: onset magnitude at the top frequency is
+	// well below the bottom frequency's.
+	onLow, _ := g.OnsetMV(g.FreqsKHz[0])
+	onHigh, _ := g.OnsetMV(g.FreqsKHz[len(g.FreqsKHz)-1])
+	if onHigh <= onLow+20 {
+		t.Errorf("onset did not shrink with frequency: %d mV at fmin, %d mV at fmax", onLow, onHigh)
+	}
+
+	// The sweep crossed crash boundaries, so reboots must be recorded.
+	if g.Reboots == 0 {
+		t.Error("no reboots despite crash cells")
+	}
+
+	// Maximal safe state is safe everywhere, per definition.
+	msv := g.MaximalSafeOffsetMV(0)
+	if msv >= 0 {
+		t.Fatalf("maximal safe state %d not an undervolt", msv)
+	}
+	for _, f := range g.FreqsKHz {
+		if cl, ok := g.At(f, msv); !ok || cl != Safe {
+			t.Fatalf("maximal safe %d mV not safe at %d kHz (%v)", msv, f, cl)
+		}
+	}
+}
+
+func TestCharacterizationDeterministicReplay(t *testing.T) {
+	run := func() *Grid {
+		p := newPlatform(t, "skylake", 77)
+		cfg := quickSweepConfig()
+		cfg.OffsetEndMV = -200 // shorter for speed
+		ch, err := NewCharacterizer(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ch.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := run(), run()
+	for fi := range g1.Cells {
+		for oi := range g1.Cells[fi] {
+			if g1.Cells[fi][oi] != g2.Cells[fi][oi] {
+				t.Fatalf("replay diverged at cell (%d, %d)", fi, oi)
+			}
+		}
+	}
+}
+
+func TestCharacterizationAllThreeModels(t *testing.T) {
+	// The paper characterizes three generations; each must produce a
+	// structurally sane grid (Figs. 2, 3, 4).
+	if testing.Short() {
+		t.Skip("full tri-model sweep in -short mode")
+	}
+	for _, model := range []string{"skylake", "kabylaker", "cometlake"} {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			p := newPlatform(t, model, 7)
+			cfg := quickSweepConfig()
+			ch, err := NewCharacterizer(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := ch.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			unsafe := g.UnsafeSet()
+			if len(unsafe.OnsetMV) != len(g.FreqsKHz) {
+				t.Errorf("%s: only %d/%d frequencies have unsafe regions",
+					model, len(unsafe.OnsetMV), len(g.FreqsKHz))
+			}
+			msv := g.MaximalSafeOffsetMV(0)
+			if msv >= 0 || msv < -300 {
+				t.Errorf("%s: implausible maximal safe state %d mV", model, msv)
+			}
+		})
+	}
+}
+
+func TestSweepLeavesPlatformRestored(t *testing.T) {
+	p := newPlatform(t, "skylake", 5)
+	cfg := quickSweepConfig()
+	cfg.OffsetEndMV = -150
+	ch, err := NewCharacterizer(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(1 * sim.Millisecond)
+	p.SettleAll()
+	c := p.Core(cfg.VictimCore)
+	if c.OffsetMV() != 0 {
+		t.Fatalf("sweep left offset %d", c.OffsetMV())
+	}
+	if p.Crashed() {
+		t.Fatal("sweep left platform crashed")
+	}
+}
+
+func TestPerClassOnsetOrdering(t *testing.T) {
+	// Measured version of the paper's claim that imul is the most
+	// fault-prone instruction: sweeping the same machine with shallower
+	// instruction classes must find deeper (more negative) onsets.
+	onsetAt := func(class cpu.Class, freqKHz int) int {
+		p := newPlatform(t, "skylake", 61)
+		cfg := quickSweepConfig()
+		cfg.Class = class
+		ch, err := NewCharacterizer(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ch.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onset, ok := g.OnsetMV(freqKHz)
+		if !ok {
+			t.Fatalf("class %s: no onset at %d kHz", class, freqKHz)
+		}
+		return onset
+	}
+	const freq = 3_200_000
+	imul := onsetAt(cpu.ClassIMul, freq)
+	aes := onsetAt(cpu.ClassAES, freq)
+	fma := onsetAt(cpu.ClassFMA, freq)
+	if !(imul > aes && aes > fma) {
+		t.Fatalf("onset ordering violated: imul %d, aes %d, fma %d (want imul shallowest)",
+			imul, aes, fma)
+	}
+}
+
+func TestDefaultClassIsIMul(t *testing.T) {
+	cfg := DefaultCharacterizerConfig()
+	if cfg.Class != cpu.ClassIMul {
+		t.Fatalf("default EXECUTE class %q", cfg.Class)
+	}
+	// Empty class falls back to imul rather than failing.
+	p := newPlatform(t, "skylake", 62)
+	cfg = quickSweepConfig()
+	cfg.Class = ""
+	cfg.OffsetEndMV = -150
+	ch, err := NewCharacterizer(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// FuzzGridFromJSON exercises the grid parser with arbitrary bytes: it must
+// never panic and must reject structurally invalid grids.
+func FuzzGridFromJSON(f *testing.F) {
+	g := syntheticGrid()
+	data, _ := g.JSON()
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"freqs_khz":[1],"offsets_mv":[-1],"cells":[[0]]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := GridFromJSON(raw)
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the validator's guarantees.
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("accepted grid fails validation: %v", err)
+		}
+		// And support the boundary queries without panicking.
+		for _, fr := range parsed.FreqsKHz {
+			parsed.OnsetMV(fr)
+			parsed.CrashMV(fr)
+			parsed.FaultBandWidthMV(fr)
+		}
+		parsed.MaximalSafeOffsetMV(5)
+		parsed.UnsafeSet().Contains(parsed.FreqsKHz[0], -1000)
+	})
+}
+
+// FuzzUnsafeSetFromJSON checks the set parser the guard consumes.
+func FuzzUnsafeSetFromJSON(f *testing.F) {
+	u := syntheticGrid().UnsafeSet()
+	data, _ := u.JSON()
+	f.Add(data)
+	f.Add([]byte(`{"onset_mv":{"1000":-5}}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := UnsafeSetFromJSON(raw)
+		if err != nil {
+			return
+		}
+		// Membership queries must be total and monotone in offset.
+		for freq := 0; freq <= 5_000_000; freq += 1_234_567 {
+			if parsed.Contains(freq, -50) && !parsed.Contains(freq, -51) {
+				t.Fatal("monotonicity violated on parsed set")
+			}
+			parsed.SafetyMarginMV(freq, -50)
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// syntheticGrid builds a small grid with a known structure:
+// freqs 1000/2000/3000 MHz; offsets -1..-10; onset deepens as frequency
+// drops (onset at -8/-5/-3, crash at -10/-7/-5).
+func syntheticGrid() *Grid {
+	freqs := []int{1_000_000, 2_000_000, 3_000_000}
+	onsets := map[int]int{1_000_000: -8, 2_000_000: -5, 3_000_000: -3}
+	crashes := map[int]int{1_000_000: -10, 2_000_000: -7, 3_000_000: -5}
+	var offs []int
+	for o := -1; o >= -10; o-- {
+		offs = append(offs, o)
+	}
+	g := &Grid{
+		Model:      "synthetic",
+		Microcode:  "0x0",
+		Iterations: 1000,
+		FreqsKHz:   freqs,
+		OffsetsMV:  offs,
+		Cells:      make([][]Classification, len(freqs)),
+	}
+	for fi, f := range freqs {
+		row := make([]Classification, len(offs))
+		for oi, o := range offs {
+			switch {
+			case o <= crashes[f]:
+				row[oi] = Crash
+			case o <= onsets[f]:
+				row[oi] = Fault
+			default:
+				row[oi] = Safe
+			}
+		}
+		g.Cells[fi] = row
+	}
+	return g
+}
+
+func TestGridValidate(t *testing.T) {
+	g := syntheticGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	cases := []func(*Grid){
+		func(g *Grid) { g.FreqsKHz = nil },
+		func(g *Grid) { g.OffsetsMV = nil },
+		func(g *Grid) { g.FreqsKHz[0], g.FreqsKHz[2] = g.FreqsKHz[2], g.FreqsKHz[0] },
+		func(g *Grid) { g.OffsetsMV[0], g.OffsetsMV[5] = g.OffsetsMV[5], g.OffsetsMV[0] },
+		func(g *Grid) { g.OffsetsMV[0] = 5 },
+		func(g *Grid) { g.Cells = g.Cells[:1] },
+		func(g *Grid) { g.Cells[1] = g.Cells[1][:3] },
+	}
+	for i, corrupt := range cases {
+		bad := syntheticGrid()
+		corrupt(bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}
+
+func TestGridAt(t *testing.T) {
+	g := syntheticGrid()
+	cases := []struct {
+		f, o int
+		want Classification
+	}{
+		{3_000_000, -1, Safe},
+		{3_000_000, -3, Fault},
+		{3_000_000, -4, Fault},
+		{3_000_000, -5, Crash},
+		{1_000_000, -7, Safe},
+		{1_000_000, -8, Fault},
+		{1_000_000, -10, Crash},
+	}
+	for _, c := range cases {
+		got, ok := g.At(c.f, c.o)
+		if !ok || got != c.want {
+			t.Errorf("At(%d, %d) = %v, %v; want %v", c.f, c.o, got, ok, c.want)
+		}
+	}
+	// Shallower than the sweep start: safe.
+	if cl, ok := g.At(3_000_000, 0); !ok || cl != Safe {
+		t.Error("offset 0 not safe")
+	}
+	if cl, ok := g.At(3_000_000, 25); !ok || cl != Safe {
+		t.Error("overvolt not safe")
+	}
+	// Deeper than the floor: floor class.
+	if cl, ok := g.At(3_000_000, -50); !ok || cl != Crash {
+		t.Error("below-floor not crash")
+	}
+	// Unswept frequency.
+	if _, ok := g.At(1_500_000, -5); ok {
+		t.Error("unswept frequency reported ok")
+	}
+}
+
+func TestGridOnsetAndCrash(t *testing.T) {
+	g := syntheticGrid()
+	if on, ok := g.OnsetMV(2_000_000); !ok || on != -5 {
+		t.Fatalf("onset = %d, %v", on, ok)
+	}
+	if cr, ok := g.CrashMV(2_000_000); !ok || cr != -7 {
+		t.Fatalf("crash = %d, %v", cr, ok)
+	}
+	if w := g.FaultBandWidthMV(2_000_000); w != 2 {
+		t.Fatalf("band width = %d", w)
+	}
+	if _, ok := g.OnsetMV(999); ok {
+		t.Fatal("onset for unswept frequency")
+	}
+	// All-safe row: no onset.
+	safe := syntheticGrid()
+	for oi := range safe.Cells[0] {
+		safe.Cells[0][oi] = Safe
+	}
+	if _, ok := safe.OnsetMV(1_000_000); ok {
+		t.Fatal("onset reported for all-safe row")
+	}
+	if w := safe.FaultBandWidthMV(1_000_000); w != 0 {
+		t.Fatalf("band width for safe row = %d", w)
+	}
+}
+
+func TestFaultBandToFloorWhenNoCrash(t *testing.T) {
+	g := syntheticGrid()
+	// Remove crashes at 3 GHz: band extends to the sweep floor.
+	for oi := range g.Cells[2] {
+		if g.Cells[2][oi] == Crash {
+			g.Cells[2][oi] = Fault
+		}
+	}
+	if w := g.FaultBandWidthMV(3_000_000); w != -3-(-10) {
+		t.Fatalf("band to floor = %d", w)
+	}
+}
+
+func TestMaximalSafeOffset(t *testing.T) {
+	g := syntheticGrid()
+	// Shallowest onset is -3 (3 GHz); maximal safe = -2.
+	if msv := g.MaximalSafeOffsetMV(0); msv != -2 {
+		t.Fatalf("maximal safe = %d, want -2", msv)
+	}
+	// Guard band of 1 mV: -1.
+	if msv := g.MaximalSafeOffsetMV(1); msv != -1 {
+		t.Fatalf("guard-banded maximal safe = %d", msv)
+	}
+	// Guard band beyond zero clamps at 0 (no overvolt mandates).
+	if msv := g.MaximalSafeOffsetMV(10); msv != 0 {
+		t.Fatalf("over-banded maximal safe = %d", msv)
+	}
+	// Negative guard band treated as zero.
+	if msv := g.MaximalSafeOffsetMV(-4); msv != -2 {
+		t.Fatalf("negative band maximal safe = %d", msv)
+	}
+	// Maximal safe state must be Safe at every frequency.
+	msv := g.MaximalSafeOffsetMV(0)
+	for _, f := range g.FreqsKHz {
+		if cl, ok := g.At(f, msv); !ok || cl != Safe {
+			t.Fatalf("maximal safe %d not safe at %d kHz", msv, f)
+		}
+	}
+	// One step deeper must be non-safe at some frequency.
+	deeperUnsafe := false
+	for _, f := range g.FreqsKHz {
+		if cl, _ := g.At(f, msv-1); cl != Safe {
+			deeperUnsafe = true
+		}
+	}
+	if !deeperUnsafe {
+		t.Fatal("maximal safe state not maximal")
+	}
+}
+
+func TestMaximalSafeAllSafeGrid(t *testing.T) {
+	g := syntheticGrid()
+	for fi := range g.Cells {
+		for oi := range g.Cells[fi] {
+			g.Cells[fi][oi] = Safe
+		}
+	}
+	if msv := g.MaximalSafeOffsetMV(0); msv != -10 {
+		t.Fatalf("all-safe maximal = %d, want sweep floor", msv)
+	}
+}
+
+func TestUnsafeSetContains(t *testing.T) {
+	u := syntheticGrid().UnsafeSet()
+	if u.Contains(3_000_000, -2) {
+		t.Fatal("-2 mV at 3 GHz flagged unsafe")
+	}
+	if !u.Contains(3_000_000, -3) {
+		t.Fatal("onset point not unsafe")
+	}
+	if !u.Contains(3_000_000, -200) {
+		t.Fatal("deep offset not unsafe")
+	}
+	if u.Contains(1_000_000, -7) {
+		t.Fatal("-7 at 1 GHz flagged unsafe (onset -8)")
+	}
+	if !u.Contains(1_000_000, -8) {
+		t.Fatal("onset at 1 GHz not unsafe")
+	}
+}
+
+func TestUnsafeSetOffGridFrequencyIsConservative(t *testing.T) {
+	u := syntheticGrid().UnsafeSet()
+	// 1.5 GHz sits between onsets -8 (1 GHz) and -5 (2 GHz); conservative
+	// resolution uses the shallower boundary (-5).
+	if !u.Contains(1_500_000, -5) {
+		t.Fatal("off-grid frequency not conservatively unsafe at -5")
+	}
+	if u.Contains(1_500_000, -4) {
+		t.Fatal("off-grid frequency unsafe above both neighbours")
+	}
+	// Beyond the characterized range: still resolves.
+	if !u.Contains(5_000_000, -5) {
+		t.Fatal("above-range frequency not conservatively handled")
+	}
+	if !u.Contains(100_000, -8) {
+		t.Fatal("below-range frequency not conservatively handled")
+	}
+}
+
+func TestUnsafeSetSafetyMargin(t *testing.T) {
+	u := syntheticGrid().UnsafeSet()
+	if m := u.SafetyMarginMV(3_000_000, -1); m != 2 {
+		t.Fatalf("margin = %d, want 2", m)
+	}
+	if m := u.SafetyMarginMV(3_000_000, -3); m != 0 {
+		t.Fatalf("margin at onset = %d", m)
+	}
+	if m := u.SafetyMarginMV(3_000_000, -10); m != -7 {
+		t.Fatalf("margin deep inside = %d", m)
+	}
+}
+
+func TestUnsafeSetEmpty(t *testing.T) {
+	u := &UnsafeSet{Model: "none", FloorMV: -300}
+	if u.Contains(1_000_000, -299) {
+		t.Fatal("empty set contains a state")
+	}
+	if m := u.SafetyMarginMV(1_000_000, -100); m != 200 {
+		t.Fatalf("empty-set margin = %d", m)
+	}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	g := syntheticGrid()
+	data, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GridFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Model != g.Model || len(g2.Cells) != len(g.Cells) {
+		t.Fatal("grid JSON round trip lost data")
+	}
+	for fi := range g.Cells {
+		for oi := range g.Cells[fi] {
+			if g.Cells[fi][oi] != g2.Cells[fi][oi] {
+				t.Fatal("cells differ after round trip")
+			}
+		}
+	}
+	if _, err := GridFromJSON([]byte(`{"freqs_khz": []}`)); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+	if _, err := GridFromJSON([]byte(`{garbage`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestUnsafeSetJSONRoundTrip(t *testing.T) {
+	u := syntheticGrid().UnsafeSet()
+	data, err := u.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := UnsafeSetFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{1_000_000, 2_000_000, 3_000_000} {
+		for o := -1; o >= -10; o-- {
+			if u.Contains(f, o) != u2.Contains(f, o) {
+				t.Fatalf("round trip changed membership at (%d, %d)", f, o)
+			}
+		}
+	}
+	if _, err := UnsafeSetFromJSON([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestClassificationString(t *testing.T) {
+	if Safe.String() != "safe" || Fault.String() != "fault" || Crash.String() != "crash" {
+		t.Fatal("classification strings wrong")
+	}
+	if Classification(9).String() != "class(9)" {
+		t.Fatal("unknown classification string")
+	}
+}
+
+// Property: Contains is monotone in the offset — if a state is unsafe, any
+// deeper undervolt at the same frequency is also unsafe (DESIGN.md §6).
+func TestQuickContainsMonotoneInOffset(t *testing.T) {
+	u := syntheticGrid().UnsafeSet()
+	f := func(fi uint8, rawO uint8) bool {
+		freqs := []int{1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000}
+		freq := freqs[int(fi)%len(freqs)]
+		o := -int(rawO % 20)
+		if u.Contains(freq, o) && !u.Contains(freq, o-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the maximal safe state with any guard band is safe everywhere.
+func TestQuickMaximalSafeAlwaysSafe(t *testing.T) {
+	g := syntheticGrid()
+	f := func(band uint8) bool {
+		msv := g.MaximalSafeOffsetMV(int(band % 12))
+		for _, freq := range g.FreqsKHz {
+			if cl, ok := g.At(freq, msv); !ok || cl != Safe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,589 @@
+// Package cpu assembles the simulated Intel platform: per-core MSR files,
+// PLLs, voltage regulators and the Eq. 1 timing circuit, plus an execution
+// engine that manifests timing violations as real incorrect results.
+//
+// The wiring mirrors hardware:
+//
+//   - wrmsr IA32_PERF_CTL (0x199) commands the PLL and retargets the core
+//     voltage rail along the model's nominal V/f curve;
+//   - wrmsr OC_MAILBOX (0x150) with the write command applies a voltage
+//     offset to the selected plane (Algorithm 1's encoding);
+//   - rdmsr IA32_PERF_STATUS (0x198) reports the live ratio and the live
+//     regulator output, which is what the paper's kernel module polls;
+//   - executing instructions samples the fault model: when the current
+//     (frequency, voltage) point gives an instruction class negative slack,
+//     results get bit flips, and control-path violations crash the core.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"plugvolt/internal/clockgen"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/timing"
+	"plugvolt/internal/vr"
+)
+
+// ErrCrashed is returned when code executes on a crashed core: a prior
+// control-path timing violation has machine-checked the machine and it must
+// be rebooted (Platform.Reboot).
+var ErrCrashed = errors.New("cpu: core has crashed (control-path timing violation)")
+
+// Class identifies an instruction class; values are the models path names.
+type Class string
+
+// Instruction classes with distinct critical-path depths.
+const (
+	ClassIMul Class = models.PathIMul
+	ClassAES  Class = models.PathAES
+	ClassFMA  Class = models.PathFMA
+	ClassLoad Class = models.PathLoad
+	ClassALU  Class = models.PathALU
+)
+
+// throughputCPI is the steady-state cycles per instruction of a tight loop
+// of the class (pipelined throughput, not latency).
+var throughputCPI = map[Class]float64{
+	ClassIMul: 1.0,
+	ClassAES:  1.0,
+	ClassFMA:  0.5,
+	ClassLoad: 0.5,
+	ClassALU:  0.25,
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	index int
+	simr  *sim.Simulator
+	spec  *models.Spec
+	circ  *timing.Circuit
+
+	MSRs *msr.File
+	PLL  *clockgen.PLL
+	VR   *vr.Regulator
+
+	// planeOffsets holds the OC-mailbox offset per voltage plane in raw
+	// 1/1024-V units (the mailbox field's native resolution, avoiding
+	// cumulative quantization on re-encode). Only the core plane feeds the
+	// timing model; the others are tracked so reads return what was
+	// written.
+	planeOffsets [msr.NumPlanes]int
+
+	crashed bool
+
+	// targetRatio is the most recently commanded P-state ratio. It can
+	// run ahead of PLL.PendingRatio during an up-transition (the PCU holds
+	// the relock until the rail arrives); all voltage targets derive from
+	// it so a concurrent mailbox write cannot compute the rail from a
+	// stale ratio.
+	targetRatio uint8
+	// pendingUp is the deferred PLL relock of an in-flight up-transition;
+	// a newer P-state command pre-empts it.
+	pendingUp *sim.Event
+
+	// Retired counts successfully executed instructions; Faulted counts
+	// instructions whose result was corrupted.
+	Retired uint64
+	Faulted uint64
+}
+
+// Index returns the core number.
+func (c *Core) Index() int { return c.index }
+
+// Crashed reports whether this core has machine-checked.
+func (c *Core) Crashed() bool { return c.crashed }
+
+// OffsetMV returns the current OC-mailbox offset on the core plane,
+// rounded to the nearest millivolt.
+func (c *Core) OffsetMV() int { return c.PlaneOffsetMV(msr.PlaneCore) }
+
+// PlaneOffsetMV returns the current offset on any plane, rounded to the
+// nearest millivolt.
+func (c *Core) PlaneOffsetMV(p msr.Plane) int {
+	if !p.Valid() {
+		return 0
+	}
+	return int(math.Round(msr.UnitsToMV(c.planeOffsets[p])))
+}
+
+// Ratio returns the live P-state ratio.
+func (c *Core) Ratio() uint8 { return c.PLL.Ratio() }
+
+// FreqGHz returns the live core frequency.
+func (c *Core) FreqGHz() float64 { return c.PLL.FreqGHz() }
+
+// VoltageV returns the live rail voltage in volts (nominal + offset,
+// mid-slew values included).
+func (c *Core) VoltageV() float64 { return c.VR.OutputMV() / 1000.0 }
+
+// retarget recomputes the rail target from the commanded ratio and the
+// core plane offset and commands the regulator.
+func (c *Core) retarget() {
+	nominal := c.spec.NominalMV(c.targetRatio)
+	c.VR.SetTarget(nominal + msr.UnitsToMV(c.planeOffsets[msr.PlaneCore]))
+}
+
+// SetRatio commands a P-state change through the hardware path. The PCU
+// sequences voltage and frequency so the transition itself never violates
+// Eq. 1: on an up-transition the rail rises first and the PLL relocks only
+// once the regulator reports the new level (CLKSCREW exploited platforms
+// that let software skip this ordering); on a down-transition the clock
+// slows first and the rail follows. Software should prefer writing
+// IA32_PERF_CTL via the MSR file; this is the path that write lands on.
+func (c *Core) SetRatio(ratio uint8) error {
+	minR, maxR := c.PLL.Range()
+	if ratio < minR || ratio > maxR {
+		// Surface the range error synchronously, as the PLL would.
+		return c.PLL.SetRatio(ratio)
+	}
+	if c.pendingUp != nil {
+		c.pendingUp.Cancel()
+		c.pendingUp = nil
+	}
+	if ratio > c.PLL.PendingRatio() {
+		// Up-transition: voltage first, frequency after the rail settles.
+		// The relock re-arms itself if a concurrent command (mailbox
+		// offset, deeper undervolt) moved the rail's target meanwhile —
+		// the clock must never outrun the rail.
+		c.targetRatio = ratio
+		c.retarget()
+		var relock func()
+		relock = func() {
+			if c.targetRatio != ratio {
+				return // pre-empted by a newer command
+			}
+			if !c.VR.Settled() {
+				// Re-arm strictly in the future: SettleTime is computed in
+				// float mV/us and can round to the current instant.
+				next := c.VR.SettleTime()
+				if next <= c.simr.Now() {
+					next = c.simr.Now() + sim.Microsecond
+				}
+				c.pendingUp = c.simr.At(next, relock)
+				return
+			}
+			c.pendingUp = nil
+			_ = c.PLL.SetRatio(ratio) // range checked above
+		}
+		c.pendingUp = c.simr.At(c.VR.SettleTime(), relock)
+		return nil
+	}
+	// Down- or same-transition: frequency first, voltage follows.
+	if err := c.PLL.SetRatio(ratio); err != nil {
+		return err
+	}
+	c.targetRatio = ratio
+	c.retarget()
+	return nil
+}
+
+// analysis runs Eq. 1 for the class at the live operating point.
+func (c *Core) analysis(path string) timing.Analysis {
+	p, ok := c.circ.PathByName(path)
+	if !ok {
+		panic(fmt.Sprintf("cpu: unknown timing path %q", path))
+	}
+	return c.circ.Analyze(p, c.PLL.FreqGHz(), c.VoltageV())
+}
+
+// FaultProbability returns the per-instruction fault probability of the
+// class at the live operating point.
+func (c *Core) FaultProbability(class Class) float64 {
+	return c.circ.FaultProbability(c.analysis(string(class)))
+}
+
+// CrashProbability returns the per-instruction probability of a
+// control-path violation at the live operating point.
+func (c *Core) CrashProbability() float64 {
+	return c.circ.FaultProbability(c.analysis(models.PathControl))
+}
+
+// Slack returns the live slack (ps) of the class's timing path.
+func (c *Core) Slack(class Class) float64 {
+	return c.analysis(string(class)).SlackPS
+}
+
+// crashCheck samples one control-path traversal; on violation the core
+// machine-checks.
+func (c *Core) crashCheck() bool {
+	p := c.CrashProbability()
+	if p > 0 && c.simr.Rand().Float64() < p {
+		c.crashed = true
+		return true
+	}
+	return false
+}
+
+// faultMask returns a random low-weight XOR mask, modelling the one- or
+// two-bit upsets DVFS faults produce in practice (Plundervolt observed
+// predominantly single-bit flips in multiply results).
+func (c *Core) faultMask() uint64 {
+	mask := uint64(1) << uint(c.simr.Rand().Intn(64))
+	if c.simr.Rand().Float64() < 0.25 { // occasional double-bit upset
+		mask |= uint64(1) << uint(c.simr.Rand().Intn(64))
+	}
+	return mask
+}
+
+// IMul executes a 64x64->64 integer multiply on the core, subject to the
+// fault model. It returns the (possibly corrupted) product and whether the
+// result was faulted.
+func (c *Core) IMul(a, b uint64) (uint64, bool, error) {
+	return c.execALUOp(ClassIMul, a*b)
+}
+
+// ALUOp executes a simple integer operation with result `exact`.
+func (c *Core) ALUOp(exact uint64) (uint64, bool, error) {
+	return c.execALUOp(ClassALU, exact)
+}
+
+// Exec executes one instruction of the given class whose exact result is
+// provided by the caller, applying the fault model.
+func (c *Core) Exec(class Class, exact uint64) (uint64, bool, error) {
+	return c.execALUOp(class, exact)
+}
+
+func (c *Core) execALUOp(class Class, exact uint64) (uint64, bool, error) {
+	if c.crashed {
+		return 0, false, ErrCrashed
+	}
+	if c.crashCheck() {
+		return 0, false, ErrCrashed
+	}
+	c.Retired++
+	p := c.FaultProbability(class)
+	if p > 0 && c.simr.Rand().Float64() < p {
+		c.Faulted++
+		return exact ^ c.faultMask(), true, nil
+	}
+	return exact, false, nil
+}
+
+// BatchResult summarizes a RunBatch execution.
+type BatchResult struct {
+	// Executed is the number of instructions retired (≤ requested when the
+	// core crashes mid-batch).
+	Executed int
+	// Faults is the number of corrupted results.
+	Faults int
+	// Elapsed is the virtual time the batch took at the live frequency.
+	Elapsed sim.Duration
+	// Crashed reports a control-path violation during the batch.
+	Crashed bool
+}
+
+// RunBatch executes n instructions of the class as a tight loop at the
+// *current* operating point, sampling the number of faults from the
+// binomial distribution instead of rolling per instruction. This is what
+// makes full-grid characterization sweeps tractable (Algorithm 2 runs one
+// million imuls per grid point).
+//
+// The operating point is sampled once at call time; callers that need to
+// observe mid-slew behaviour should issue smaller batches.
+func (c *Core) RunBatch(class Class, n int) (BatchResult, error) {
+	if n < 0 {
+		return BatchResult{}, fmt.Errorf("cpu: negative batch size %d", n)
+	}
+	if c.crashed {
+		return BatchResult{}, ErrCrashed
+	}
+	cpi, ok := throughputCPI[class]
+	if !ok {
+		return BatchResult{}, fmt.Errorf("cpu: unknown instruction class %q", class)
+	}
+	var res BatchResult
+	pCrash := c.CrashProbability()
+	executed := n
+	if pCrash > 0 {
+		// P(crash within n) = 1-(1-p)^n; if it happens, the crash point is
+		// geometrically distributed.
+		pAny := -math.Expm1(float64(n) * math.Log1p(-pCrash))
+		if c.simr.Rand().Float64() < pAny {
+			res.Crashed = true
+			c.crashed = true
+			executed = c.simr.Rand().Intn(n + 1)
+		}
+	}
+	res.Executed = executed
+	pFault := c.FaultProbability(class)
+	res.Faults = binomial(c.simr, executed, pFault)
+	c.Retired += uint64(executed)
+	c.Faulted += uint64(res.Faults)
+
+	cycles := float64(executed) * cpi
+	periodPS := c.PLL.PeriodPS()
+	res.Elapsed = sim.Duration(cycles * periodPS)
+	if res.Crashed {
+		return res, ErrCrashed
+	}
+	return res, nil
+}
+
+// binomial samples Binomial(n, p) from the simulator's RNG. It uses exact
+// per-trial sampling for small n, a Poisson approximation for rare events
+// and a normal approximation for the bulk regime.
+func binomial(s *sim.Simulator, n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case n <= 64:
+		k := 0
+		for i := 0; i < n; i++ {
+			if s.Rand().Float64() < p {
+				k++
+			}
+		}
+		return k
+	case float64(n)*p < 30:
+		// Poisson(np) via Knuth; lambda < 30 keeps the loop short.
+		lambda := float64(n) * p
+		l := math.Exp(-lambda)
+		k, prod := 0, s.Rand().Float64()
+		for prod > l {
+			k++
+			prod *= s.Rand().Float64()
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	default:
+		mean := float64(n) * p
+		sd := math.Sqrt(mean * (1 - p))
+		k := int(math.Round(mean + sd*s.Rand().NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+}
+
+// BatchDuration returns the virtual time a batch of n instructions of the
+// class takes at the current frequency, without executing it.
+func (c *Core) BatchDuration(class Class, n int) sim.Duration {
+	cpi := throughputCPI[class]
+	return sim.Duration(float64(n) * cpi * c.PLL.PeriodPS())
+}
+
+// Platform is the whole simulated machine.
+type Platform struct {
+	Sim   *sim.Simulator
+	Spec  *models.Spec
+	cores []*Core
+
+	// RebootTime is the virtual downtime consumed by Reboot.
+	RebootTime sim.Duration
+	// Reboots counts crash recoveries, which the characterizer reports.
+	Reboots int
+
+	seed int64
+}
+
+// DefaultRebootTime approximates a fast reboot cycle.
+const DefaultRebootTime = 30 * sim.Second
+
+// NewPlatform builds a machine of the given model. The seed drives all
+// stochastic behaviour (jitter realizations, fault coin flips).
+func NewPlatform(spec *models.Spec, seed int64) (*Platform, error) {
+	if spec == nil {
+		return nil, errors.New("cpu: nil spec")
+	}
+	if spec.Tech.K == 0 {
+		return nil, fmt.Errorf("cpu: spec %q not calibrated", spec.Codename)
+	}
+	p := &Platform{
+		Sim:        sim.New(seed),
+		Spec:       spec,
+		RebootTime: DefaultRebootTime,
+		seed:       seed,
+	}
+	if err := p.buildCores(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Platform) buildCores() error {
+	p.cores = p.cores[:0]
+	for i := 0; i < p.Spec.Cores; i++ {
+		circ, err := p.Spec.Circuit()
+		if err != nil {
+			return err
+		}
+		pll, err := clockgen.New(p.Sim, clockgen.Config{
+			BusMHz:       p.Spec.BusMHz,
+			RelockTime:   clockgen.DefaultRelock,
+			MinRatio:     p.Spec.MinRatio,
+			MaxRatio:     p.Spec.MaxTurboRatio,
+			InitialRatio: p.Spec.BaseRatio,
+		})
+		if err != nil {
+			return err
+		}
+		rail, err := vr.New(p.Sim, vr.DefaultConfig(p.Spec.NominalMV(p.Spec.BaseRatio)))
+		if err != nil {
+			return err
+		}
+		core := &Core{
+			index:       i,
+			simr:        p.Sim,
+			spec:        p.Spec,
+			circ:        circ,
+			MSRs:        msr.NewFile(i),
+			PLL:         pll,
+			VR:          rail,
+			targetRatio: p.Spec.BaseRatio,
+		}
+		core.wireMSRs()
+		p.cores = append(p.cores, core)
+	}
+	return nil
+}
+
+// wireMSRs connects the MSR file's software-visible registers to the
+// hardware blocks.
+func (c *Core) wireMSRs() {
+	// IA32_PERF_STATUS reflects the live PLL ratio and rail voltage.
+	c.MSRs.Descriptor(msr.IA32PerfStatus).ReadFn = func(*msr.File) (uint64, error) {
+		return msr.EncodePerfStatus(c.PLL.Ratio(), c.VR.OutputMV()/1000.0), nil
+	}
+	// IA32_PERF_CTL bits 15:8 select the target ratio. Apply is the
+	// hardware commit stage, so software defenses hooked on the register
+	// run first.
+	c.MSRs.Descriptor(msr.IA32PerfCtl).Apply = func(_ *msr.File, _, v uint64) (uint64, error) {
+		ratio := uint8((v >> 8) & 0xFF)
+		if err := c.SetRatio(ratio); err != nil {
+			return 0, &msr.GPFault{Addr: msr.IA32PerfCtl, Op: "wrmsr", Why: err.Error()}
+		}
+		return v, nil
+	}
+	// OC mailbox: decode Algorithm 1 commands. The stored value has the
+	// busy bit cleared (hardware consumes the command), so a subsequent
+	// rdmsr returns the applied offset — what Algorithm 3 polls.
+	c.MSRs.Descriptor(msr.OCMailbox).Apply = func(_ *msr.File, old, v uint64) (uint64, error) {
+		d := msr.DecodeVoltageOffset(v)
+		if !d.Busy {
+			// Command without the run bit is ignored by hardware.
+			return old, nil
+		}
+		if !d.Plane.Valid() {
+			return 0, &msr.GPFault{Addr: msr.OCMailbox, Op: "wrmsr", Why: fmt.Sprintf("invalid plane %d", d.Plane)}
+		}
+		if !d.Write {
+			// Read command: respond with the current offset for the plane.
+			resp := msr.EncodeVoltageOffsetUnits(c.planeOffsets[d.Plane], d.Plane) &^ (1 << 63)
+			return resp, nil
+		}
+		c.planeOffsets[d.Plane] = d.OffsetUnits
+		if d.Plane == msr.PlaneCore {
+			c.retarget()
+		}
+		return v &^ (1 << 63), nil
+	}
+}
+
+// NumCores returns the core count.
+func (p *Platform) NumCores() int { return len(p.cores) }
+
+// Core returns core i.
+func (p *Platform) Core(i int) *Core { return p.cores[i] }
+
+// Cores returns all cores.
+func (p *Platform) Cores() []*Core { return p.cores }
+
+// Crashed reports whether any core has machine-checked. On real hardware a
+// control-path violation takes down the whole machine; we model the crash
+// per-core but treat any crashed core as a machine-wide crash.
+func (p *Platform) Crashed() bool {
+	for _, c := range p.cores {
+		if c.crashed {
+			return true
+		}
+	}
+	return false
+}
+
+// Reboot recovers from a crash: all cores return to the base P-state with
+// zero offsets and cleared fault state, and virtual time advances by
+// RebootTime. Retired/Faulted counters survive (they model host-side
+// experiment bookkeeping, not machine state).
+func (p *Platform) Reboot() {
+	for _, c := range p.cores {
+		c.crashed = false
+		c.planeOffsets = [msr.NumPlanes]int{}
+		c.MSRs = msr.NewFile(c.index)
+		pll, err := clockgen.New(p.Sim, clockgen.Config{
+			BusMHz:       p.Spec.BusMHz,
+			RelockTime:   clockgen.DefaultRelock,
+			MinRatio:     p.Spec.MinRatio,
+			MaxRatio:     p.Spec.MaxTurboRatio,
+			InitialRatio: p.Spec.BaseRatio,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("cpu: reboot rebuild: %v", err)) // spec already validated
+		}
+		c.PLL = pll
+		rail, err := vr.New(p.Sim, vr.DefaultConfig(p.Spec.NominalMV(p.Spec.BaseRatio)))
+		if err != nil {
+			panic(fmt.Sprintf("cpu: reboot rebuild: %v", err))
+		}
+		c.VR = rail
+		c.targetRatio = p.Spec.BaseRatio
+		if c.pendingUp != nil {
+			c.pendingUp.Cancel()
+			c.pendingUp = nil
+		}
+		c.wireMSRs()
+	}
+	p.Reboots++
+	p.Sim.RunFor(p.RebootTime)
+}
+
+// MSRFile returns core's MSR file (kernel.Machine interface).
+func (p *Platform) MSRFile(core int) *msr.File { return p.cores[core].MSRs }
+
+// FreqTableKHz exposes the model's frequency table (pstate interface).
+func (p *Platform) FreqTableKHz() []int { return p.Spec.FreqTableKHz() }
+
+// FreqKHz returns core i's live frequency (pstate interface).
+func (p *Platform) FreqKHz(core int) int { return p.cores[core].PLL.FreqKHz() }
+
+// SetRatioViaMSR performs the software P-state change: a wrmsr to
+// IA32_PERF_CTL on the target core, as cpupower's userspace governor does.
+func (p *Platform) SetRatioViaMSR(core int, ratio uint8) error {
+	return p.cores[core].MSRs.Write(msr.IA32PerfCtl, uint64(ratio)<<8)
+}
+
+// WriteOffsetViaMSR applies a voltage offset through the OC mailbox on the
+// target core — the Plundervolt/Algorithm 1 software path.
+func (p *Platform) WriteOffsetViaMSR(core int, offsetMV int, plane msr.Plane) error {
+	return p.cores[core].MSRs.Write(msr.OCMailbox, msr.EncodeVoltageOffset(offsetMV, plane))
+}
+
+// SettleAll advances virtual time until every core's PLL has relocked and
+// every rail has settled — convenient between characterization steps.
+func (p *Platform) SettleAll() {
+	var latest sim.Time
+	for _, c := range p.cores {
+		if st := c.VR.SettleTime(); st > latest {
+			latest = st
+		}
+	}
+	if latest > p.Sim.Now() {
+		p.Sim.RunUntil(latest)
+	}
+	// PLL relock is bounded; run a little past the worst case.
+	p.Sim.RunFor(2 * clockgen.DefaultRelock)
+}
+
+// Seed returns the platform's RNG seed.
+func (p *Platform) Seed() int64 { return p.seed }

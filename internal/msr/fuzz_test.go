@@ -1,0 +1,46 @@
+package msr
+
+import "testing"
+
+// FuzzDecodeVoltageOffset exercises the Table-1 decoder with arbitrary
+// 64-bit register values (go test -fuzz=FuzzDecodeVoltageOffset ./internal/msr).
+// Invariants: decoding never panics, the unit field stays within the 11-bit
+// two's-complement range, and re-encoding a decoded write command
+// round-trips the offset field bit-exactly.
+func FuzzDecodeVoltageOffset(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(EncodeVoltageOffset(-250, PlaneCore))
+	f.Add(EncodeVoltageOffset(100, PlaneAnalogIO))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		d := DecodeVoltageOffset(raw)
+		if d.OffsetUnits < -1024 || d.OffsetUnits > 1023 {
+			t.Fatalf("units %d outside 11-bit range", d.OffsetUnits)
+		}
+		if d.OffsetMV < -1001 || d.OffsetMV > 1000 {
+			t.Fatalf("mV %d outside representable range", d.OffsetMV)
+		}
+		re := EncodeVoltageOffsetUnits(d.OffsetUnits, d.Plane&0x7)
+		d2 := DecodeVoltageOffset(re)
+		if d2.OffsetUnits != d.OffsetUnits {
+			t.Fatalf("units round trip %d -> %d", d.OffsetUnits, d2.OffsetUnits)
+		}
+	})
+}
+
+// FuzzPerfStatus checks the PERF_STATUS codec against arbitrary raw values.
+func FuzzPerfStatus(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(EncodePerfStatus(32, 1.056))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		ratio, v := DecodePerfStatus(raw)
+		if v < 0 || v > 8 { // 16-bit field * 1/8192 V caps at 8 V
+			t.Fatalf("voltage %v out of field range", v)
+		}
+		re := EncodePerfStatus(ratio, v)
+		r2, v2 := DecodePerfStatus(re)
+		if r2 != ratio || v2 != v {
+			t.Fatalf("round trip (%d, %v) -> (%d, %v)", ratio, v, r2, v2)
+		}
+	})
+}

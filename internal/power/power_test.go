@@ -1,0 +1,200 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/pstate"
+	"plugvolt/internal/sim"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{CeffNF: 0, Activity: 1, LeakA: 0.1, LeakVT: 0.4},
+		{CeffNF: 3, Activity: -0.1, LeakA: 0.1, LeakVT: 0.4},
+		{CeffNF: 3, Activity: 1.5, LeakA: 0.1, LeakVT: 0.4},
+		{CeffNF: 3, Activity: 1, LeakA: -1, LeakVT: 0.4},
+		{CeffNF: 3, Activity: 1, LeakA: 0.1, LeakVT: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestCalibrationPoint(t *testing.T) {
+	m := DefaultModel()
+	dyn := m.DynamicW(3.2, 1.10)
+	if dyn < 12 || dyn > 14 {
+		t.Fatalf("dynamic power at calibration point %v W, want ~13", dyn)
+	}
+	st := m.StaticW(1.10)
+	if st < 1.0 || st > 2.0 {
+		t.Fatalf("static power %v W, want ~1.5", st)
+	}
+	if m.StaticW(0) != 0 || m.StaticW(-1) != 0 {
+		t.Fatal("nonpositive voltage leaked")
+	}
+	if tot := m.TotalW(3.2, 1.10); math.Abs(tot-dyn-st) > 1e-12 {
+		t.Fatal("total != dyn + static")
+	}
+}
+
+// Property: power is strictly increasing in both f and V (physical sanity).
+func TestQuickPowerMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(rf, rv uint8) bool {
+		freq := 0.5 + float64(rf%40)*0.1
+		v := 0.6 + float64(rv%60)*0.01
+		if m.TotalW(freq+0.1, v) <= m.TotalW(freq, v) {
+			return false
+		}
+		return m.TotalW(freq, v+0.01) > m.TotalW(freq, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndervoltSavings(t *testing.T) {
+	m := DefaultModel()
+	// -70 mV at 3.2 GHz / 1104 mV nominal: V drops 6.3%, dynamic ~12%.
+	s := m.UndervoltSavingsPct(3.2, 1104, -70)
+	if s < 8 || s > 18 {
+		t.Fatalf("savings %v%%, want ~12%%", s)
+	}
+	if z := m.UndervoltSavingsPct(3.2, 1104, 0); z != 0 {
+		t.Fatalf("zero offset saved %v%%", z)
+	}
+	if neg := m.UndervoltSavingsPct(3.2, 1104, 50); neg >= 0 {
+		t.Fatal("overvolting reported as saving")
+	}
+}
+
+func TestMeterIntegratesEnergy(t *testing.T) {
+	spec, err := models.SkyLake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(p.Sim); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(p.Sim); err == nil {
+		t.Fatal("double start accepted")
+	}
+	p.Sim.RunFor(10 * sim.Millisecond)
+	m.Stop()
+	if m.Elapsed != 10*sim.Millisecond {
+		t.Fatalf("elapsed %v", m.Elapsed)
+	}
+	// Constant operating point: E = P * t.
+	wantW := DefaultModel().TotalW(p.Core(0).FreqGHz(), p.Core(0).VoltageV())
+	if math.Abs(m.AverageW()-wantW) > 1e-9 {
+		t.Fatalf("average %v W want %v", m.AverageW(), wantW)
+	}
+	wantJ := wantW * 0.010
+	if math.Abs(m.EnergyJ-wantJ)/wantJ > 1e-6 {
+		t.Fatalf("energy %v J want %v", m.EnergyJ, wantJ)
+	}
+	if m.PeakW != wantW || m.LastW() != wantW {
+		t.Fatal("peak/last inconsistent at constant point")
+	}
+}
+
+func TestMeterSeesUndervolt(t *testing.T) {
+	spec, _ := models.SkyLake()
+	p, _ := cpu.NewPlatform(spec, 2)
+	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(p.Sim); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(5 * sim.Millisecond)
+	baseline := m.LastW()
+	if err := p.WriteOffsetViaMSR(0, -70, msr.PlaneCore); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(5 * sim.Millisecond)
+	m.Stop()
+	if m.LastW() >= baseline {
+		t.Fatalf("undervolt did not reduce power: %v -> %v", baseline, m.LastW())
+	}
+	reduction := (baseline - m.LastW()) / baseline * 100
+	if reduction < 5 || reduction > 20 {
+		t.Fatalf("reduction %v%% implausible", reduction)
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	spec, _ := models.SkyLake()
+	p, _ := cpu.NewPlatform(spec, 1)
+	if _, err := NewMeter(Model{}, p.Core(0), sim.Microsecond); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := NewMeter(DefaultModel(), nil, sim.Microsecond); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	if _, err := NewMeter(DefaultModel(), p.Core(0), 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	m, _ := NewMeter(DefaultModel(), p.Core(0), sim.Microsecond)
+	if m.AverageW() != 0 {
+		t.Fatal("average on unstarted meter")
+	}
+}
+
+func TestMeterWithIdleStates(t *testing.T) {
+	spec, _ := models.SkyLake()
+	p, _ := cpu.NewPlatform(spec, 3)
+	gov, err := pstate.NewIdleGovernor(p.Sim, p.NumCores(), pstate.DefaultCStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Idle = gov
+	if err := m.Start(p.Sim); err != nil {
+		t.Fatal(err)
+	}
+	// 5 ms awake, then 5 ms in C6 (5% power).
+	p.Sim.RunFor(5 * sim.Millisecond)
+	awakeW := m.LastW()
+	if _, err := gov.Enter(0, 10*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(5 * sim.Millisecond)
+	idleW := m.LastW()
+	if _, err := gov.Exit(0); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	if idleW >= awakeW*0.10 {
+		t.Fatalf("C6 power %v not ~5%% of awake %v", idleW, awakeW)
+	}
+	// Energy is between all-idle and all-awake bounds.
+	span := m.Elapsed.Seconds()
+	if m.EnergyJ >= awakeW*span || m.EnergyJ <= idleW*span {
+		t.Fatalf("energy %v outside (%v, %v)", m.EnergyJ, idleW*span, awakeW*span)
+	}
+}

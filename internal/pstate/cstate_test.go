@@ -1,0 +1,165 @@
+package pstate
+
+import (
+	"testing"
+
+	"plugvolt/internal/sim"
+)
+
+func idleRig(t *testing.T) (*sim.Simulator, *IdleGovernor) {
+	t.Helper()
+	s := sim.New(1)
+	g, err := NewIdleGovernor(s, 4, DefaultCStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestIdleGovernorValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewIdleGovernor(s, 0, DefaultCStates()); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewIdleGovernor(s, 1, nil); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+	bad := DefaultCStates()
+	bad[0].ExitLatency = sim.Microsecond
+	if _, err := NewIdleGovernor(s, 1, bad); err == nil {
+		t.Fatal("C0 with exit latency accepted")
+	}
+	gap := DefaultCStates()
+	gap[2].Index = 5
+	if _, err := NewIdleGovernor(s, 1, gap); err == nil {
+		t.Fatal("index gap accepted")
+	}
+	cheapDeep := DefaultCStates()
+	cheapDeep[3].ExitLatency = 0
+	if _, err := NewIdleGovernor(s, 1, cheapDeep); err == nil {
+		t.Fatal("deep state cheaper than shallow accepted")
+	}
+	noSave := DefaultCStates()
+	noSave[3].PowerFactor = 0.9
+	if _, err := NewIdleGovernor(s, 1, noSave); err == nil {
+		t.Fatal("deep state without power saving accepted")
+	}
+}
+
+func TestMenuSelection(t *testing.T) {
+	_, g := idleRig(t)
+	cases := []struct {
+		idle sim.Duration
+		want string
+	}{
+		{0, "C0"},
+		{1 * sim.Microsecond, "C0"},
+		{5 * sim.Microsecond, "C1"},
+		{50 * sim.Microsecond, "C1E"},
+		{400 * sim.Microsecond, "C1E"}, // C6 residency not met
+		{1 * sim.Millisecond, "C6"},
+		{1 * sim.Second, "C6"},
+	}
+	for _, c := range cases {
+		if got := g.Select(c.idle); got.Name != c.want {
+			t.Errorf("Select(%v) = %s, want %s", c.idle, got.Name, c.want)
+		}
+	}
+}
+
+func TestEnterExitAccounting(t *testing.T) {
+	s, g := idleRig(t)
+	st, err := g.Enter(1, 1*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "C6" {
+		t.Fatalf("entered %s", st.Name)
+	}
+	if _, err := g.Enter(1, sim.Millisecond); err == nil {
+		t.Fatal("double enter accepted")
+	}
+	cur, err := g.Current(1)
+	if err != nil || cur.Name != "C6" {
+		t.Fatalf("current %v %v", cur, err)
+	}
+	if pf := g.PowerFactor(1); pf != 0.05 {
+		t.Fatalf("power factor %v", pf)
+	}
+	s.RunFor(2 * sim.Millisecond)
+	lat, err := g.Exit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 133*sim.Microsecond {
+		t.Fatalf("exit latency %v", lat)
+	}
+	res := g.Residency(1)
+	if res["C6"] != 2*sim.Millisecond {
+		t.Fatalf("C6 residency %v", res["C6"])
+	}
+	if g.Entries(1)["C6"] != 1 {
+		t.Fatalf("entries %v", g.Entries(1))
+	}
+	if g.Wakeups != 1 {
+		t.Fatalf("wakeups %d", g.Wakeups)
+	}
+	// Exit latency advanced the clock.
+	if s.Now() != 2*sim.Millisecond+133*sim.Microsecond {
+		t.Fatalf("clock %v", s.Now())
+	}
+	// Exiting C0 is a no-op.
+	if lat, err := g.Exit(1); err != nil || lat != 0 {
+		t.Fatalf("C0 exit: %v %v", lat, err)
+	}
+	// Other cores independent.
+	if g.PowerFactor(2) != 1.0 {
+		t.Fatal("idle state leaked across cores")
+	}
+}
+
+func TestIdleBogusCore(t *testing.T) {
+	_, g := idleRig(t)
+	if _, err := g.Enter(-1, sim.Millisecond); err == nil {
+		t.Fatal("negative core accepted")
+	}
+	if _, err := g.Exit(9); err == nil {
+		t.Fatal("bogus core accepted")
+	}
+	if _, err := g.Current(9); err == nil {
+		t.Fatal("bogus core accepted")
+	}
+	if g.Residency(9) != nil || g.Entries(9) != nil {
+		t.Fatal("bogus core stats non-nil")
+	}
+	if g.PowerFactor(9) != 1 {
+		t.Fatal("bogus core power factor")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := map[string]sim.Duration{"C6": 1, "C1": 2, "C1E": 3}
+	names := SortedNames(m)
+	if len(names) != 3 || names[0] != "C1" || names[1] != "C1E" || names[2] != "C6" {
+		t.Fatalf("sorted %v", names)
+	}
+}
+
+func TestRepeatedIdleCycles(t *testing.T) {
+	s, g := idleRig(t)
+	for i := 0; i < 100; i++ {
+		if _, err := g.Enter(0, 30*sim.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+		s.RunFor(30 * sim.Microsecond)
+		if _, err := g.Exit(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Entries(0)["C1E"] != 100 {
+		t.Fatalf("entries %v", g.Entries(0))
+	}
+	if g.Residency(0)["C1E"] != 100*30*sim.Microsecond {
+		t.Fatalf("residency %v", g.Residency(0))
+	}
+}

@@ -1,0 +1,181 @@
+package pstate
+
+import (
+	"errors"
+	"fmt"
+
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+)
+
+// IA32_HWP_REQUEST (0x774) — Hardware-Controlled Performance states (Intel
+// Speed Shift). On HWP parts the OS stops issuing per-change PERF_CTL
+// writes; it programs a *policy* (min/max ratio, desired ratio, an
+// energy-performance preference) and the package control unit picks
+// P-states autonomously.
+//
+// HWP matters to the paper's story: the DVFS *frequency* side moves from
+// software into hardware, but the voltage-offset mailbox (0x150) stays
+// software-writable — so the attack surface and the countermeasure's
+// polling loop are unchanged. The guard keeps working because it reads the
+// *effective* ratio from PERF_STATUS, not the request register.
+const HWPRequest msr.Addr = 0x774
+
+// HWP request field layout (per the SDM): min ratio bits 7:0, max ratio
+// 15:8, desired 23:16, EPP 31:24.
+const (
+	hwpMinShift     = 0
+	hwpMaxShift     = 8
+	hwpDesiredShift = 16
+	hwpEPPShift     = 24
+)
+
+// HWPRequestFields is the decoded request register.
+type HWPRequestFields struct {
+	MinRatio, MaxRatio uint8
+	// DesiredRatio, when nonzero, pins the frequency (autonomy off).
+	DesiredRatio uint8
+	// EPP is the energy-performance preference: 0 = max performance,
+	// 255 = max energy saving.
+	EPP uint8
+}
+
+// EncodeHWPRequest packs the request fields.
+func EncodeHWPRequest(f HWPRequestFields) uint64 {
+	return uint64(f.MinRatio)<<hwpMinShift |
+		uint64(f.MaxRatio)<<hwpMaxShift |
+		uint64(f.DesiredRatio)<<hwpDesiredShift |
+		uint64(f.EPP)<<hwpEPPShift
+}
+
+// DecodeHWPRequest unpacks a request register value.
+func DecodeHWPRequest(v uint64) HWPRequestFields {
+	return HWPRequestFields{
+		MinRatio:     uint8(v >> hwpMinShift),
+		MaxRatio:     uint8(v >> hwpMaxShift),
+		DesiredRatio: uint8(v >> hwpDesiredShift),
+		EPP:          uint8(v >> hwpEPPShift),
+	}
+}
+
+// HWP is the autonomous P-state controller for one machine.
+type HWP struct {
+	simr   *sim.Simulator
+	cpu    CPU
+	load   LoadFn
+	ticker *sim.Ticker
+	// Period is the autonomy evaluation interval (hardware reacts in
+	// ~1 ms or faster; we default to 1 ms).
+	Period sim.Duration
+	// Transitions counts autonomous ratio changes.
+	Transitions uint64
+
+	reqs []HWPRequestFields
+}
+
+// NewHWP builds the controller and declares IA32_HWP_REQUEST on every
+// core's MSR file. machine must also expose the MSR files (kernel.Machine
+// shape); we accept them via the declare callback to avoid an import knot.
+func NewHWP(s *sim.Simulator, hw CPU, load LoadFn, declare func(core int, d *msr.Descriptor)) (*HWP, error) {
+	if hw == nil || declare == nil {
+		return nil, errors.New("pstate: HWP needs hardware and a declare hook")
+	}
+	if load == nil {
+		load = func(int) float64 { return 0 }
+	}
+	table := hw.FreqTableKHz()
+	if len(table) == 0 {
+		return nil, errors.New("pstate: empty frequency table")
+	}
+	busKHz := table[0]
+	if len(table) > 1 {
+		busKHz = table[1] - table[0]
+	}
+	minRatio := uint8(table[0] / busKHz)
+	maxRatio := uint8(table[len(table)-1] / busKHz)
+
+	h := &HWP{
+		simr:   s,
+		cpu:    hw,
+		load:   load,
+		Period: 1 * sim.Millisecond,
+		reqs:   make([]HWPRequestFields, hw.NumCores()),
+	}
+	for i := 0; i < hw.NumCores(); i++ {
+		i := i
+		h.reqs[i] = HWPRequestFields{MinRatio: minRatio, MaxRatio: maxRatio, EPP: 128}
+		declare(i, &msr.Descriptor{
+			Addr:  HWPRequest,
+			Name:  "IA32_HWP_REQUEST",
+			Reset: EncodeHWPRequest(h.reqs[i]),
+			Apply: func(_ *msr.File, _, v uint64) (uint64, error) {
+				f := DecodeHWPRequest(v)
+				if f.MinRatio > f.MaxRatio {
+					return 0, &msr.GPFault{Addr: HWPRequest, Op: "wrmsr", Why: "min ratio above max"}
+				}
+				h.reqs[i] = f
+				return v, nil
+			},
+		})
+	}
+	return h, nil
+}
+
+// Request returns core's live policy.
+func (h *HWP) Request(core int) (HWPRequestFields, error) {
+	if core < 0 || core >= len(h.reqs) {
+		return HWPRequestFields{}, fmt.Errorf("pstate: no core %d", core)
+	}
+	return h.reqs[core], nil
+}
+
+// Start launches the autonomous controller.
+func (h *HWP) Start() {
+	if h.ticker != nil {
+		return
+	}
+	h.ticker = h.simr.Every(h.Period, h.step)
+}
+
+// Stop halts autonomy.
+func (h *HWP) Stop() {
+	if h.ticker != nil {
+		h.ticker.Stop()
+		h.ticker = nil
+	}
+}
+
+// step picks each core's ratio: desired pins it; otherwise the target
+// scales with load, biased by EPP (performance preference overshoots the
+// load, energy preference undershoots).
+func (h *HWP) step() {
+	table := h.cpu.FreqTableKHz()
+	busKHz := table[0]
+	if len(table) > 1 {
+		busKHz = table[1] - table[0]
+	}
+	for core := 0; core < h.cpu.NumCores(); core++ {
+		req := h.reqs[core]
+		var target uint8
+		if req.DesiredRatio != 0 {
+			target = req.DesiredRatio
+		} else {
+			util := clamp01(h.load(core))
+			// EPP 0 -> 1.4x headroom, EPP 255 -> 0.8x (lagging).
+			bias := 1.4 - 0.6*float64(req.EPP)/255.0
+			span := float64(req.MaxRatio-req.MinRatio) * util * bias
+			target = req.MinRatio + uint8(span+0.5)
+		}
+		if target < req.MinRatio {
+			target = req.MinRatio
+		}
+		if target > req.MaxRatio {
+			target = req.MaxRatio
+		}
+		if h.cpu.FreqKHz(core) != int(target)*busKHz {
+			if err := h.cpu.SetRatioViaMSR(core, target); err == nil {
+				h.Transitions++
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package pstate
+
+import (
+	"testing"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+)
+
+func hwpRig(t *testing.T, load LoadFn) (*cpu.Platform, *HWP) {
+	t.Helper()
+	spec, err := models.CometLake() // HWP-era part
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHWP(p.Sim, p, load, func(core int, d *msr.Descriptor) {
+		p.MSRFile(core).Declare(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, h
+}
+
+func TestHWPRequestCodec(t *testing.T) {
+	f := HWPRequestFields{MinRatio: 4, MaxRatio: 49, DesiredRatio: 20, EPP: 128}
+	got := DecodeHWPRequest(EncodeHWPRequest(f))
+	if got != f {
+		t.Fatalf("round trip %+v -> %+v", f, got)
+	}
+}
+
+func TestHWPValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewHWP(s, nil, nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+}
+
+func TestHWPDefaultsAndMSRSurface(t *testing.T) {
+	p, h := hwpRig(t, nil)
+	req, err := h.Request(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.MinRatio != 4 || req.MaxRatio != 49 || req.EPP != 128 {
+		t.Fatalf("default request %+v", req)
+	}
+	// The request register is software-visible with the reset value.
+	v, err := p.MSRFile(0).Read(HWPRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeHWPRequest(v) != req {
+		t.Fatal("MSR reset value mismatch")
+	}
+	// Invalid policy is rejected with #GP.
+	bad := EncodeHWPRequest(HWPRequestFields{MinRatio: 30, MaxRatio: 10})
+	if err := p.MSRFile(0).Write(HWPRequest, bad); err == nil {
+		t.Fatal("min>max accepted")
+	}
+	if _, err := h.Request(99); err == nil {
+		t.Fatal("bogus core accepted")
+	}
+}
+
+func TestHWPAutonomyTracksLoadAndEPP(t *testing.T) {
+	load := 0.0
+	p, h := hwpRig(t, func(core int) float64 { return load })
+	h.Start()
+	h.Start() // idempotent
+	defer h.Stop()
+
+	load = 1.0
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 4_900_000 {
+		t.Fatalf("full load with balanced EPP: %d", got)
+	}
+
+	load = 0.0
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 400_000 {
+		t.Fatalf("idle: %d", got)
+	}
+
+	// Energy-biased EPP undershoots a mid load; performance EPP overshoots.
+	load = 0.5
+	if err := p.MSRFile(0).Write(HWPRequest, EncodeHWPRequest(HWPRequestFields{
+		MinRatio: 4, MaxRatio: 49, EPP: 255})); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	eco := p.FreqKHz(0)
+	if err := p.MSRFile(0).Write(HWPRequest, EncodeHWPRequest(HWPRequestFields{
+		MinRatio: 4, MaxRatio: 49, EPP: 0})); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	perf := p.FreqKHz(0)
+	if perf <= eco {
+		t.Fatalf("EPP had no effect: eco %d vs perf %d", eco, perf)
+	}
+	if h.Transitions == 0 {
+		t.Fatal("no autonomous transitions")
+	}
+}
+
+func TestHWPDesiredPinsFrequency(t *testing.T) {
+	load := 1.0
+	p, h := hwpRig(t, func(core int) float64 { return load })
+	h.Start()
+	defer h.Stop()
+	if err := p.MSRFile(2).Write(HWPRequest, EncodeHWPRequest(HWPRequestFields{
+		MinRatio: 4, MaxRatio: 49, DesiredRatio: 18})); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(2); got != 1_800_000 {
+		t.Fatalf("desired-pinned freq %d", got)
+	}
+	// Other cores remain autonomous (full load -> turbo).
+	if got := p.FreqKHz(1); got != 4_900_000 {
+		t.Fatalf("autonomous core %d", got)
+	}
+}
+
+func TestHWPBoundsClampAutonomy(t *testing.T) {
+	load := 1.0
+	p, h := hwpRig(t, func(core int) float64 { return load })
+	h.Start()
+	defer h.Stop()
+	if err := p.MSRFile(0).Write(HWPRequest, EncodeHWPRequest(HWPRequestFields{
+		MinRatio: 10, MaxRatio: 20, EPP: 0})); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 2_000_000 {
+		t.Fatalf("max-bound not honored: %d", got)
+	}
+	load = 0.0
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 1_000_000 {
+		t.Fatalf("min-bound not honored: %d", got)
+	}
+}
+
+func TestHWPCompatibleWithGuardSurface(t *testing.T) {
+	// The countermeasure reads PERF_STATUS for the *effective* ratio; HWP
+	// autonomy must be visible there (not just in the request register).
+	load := 1.0
+	p, h := hwpRig(t, func(core int) float64 { return load })
+	h.Start()
+	defer h.Stop()
+	p.Sim.RunFor(3 * sim.Millisecond)
+	p.SettleAll()
+	v, err := p.MSRFile(0).Read(msr.IA32PerfStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, _ := msr.DecodePerfStatus(v)
+	if ratio != 49 {
+		t.Fatalf("PERF_STATUS ratio %d under HWP turbo", ratio)
+	}
+}

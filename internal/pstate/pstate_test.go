@@ -1,0 +1,262 @@
+package pstate
+
+import (
+	"testing"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/sim"
+)
+
+// testRig builds a Sky Lake platform with a pstate manager attached.
+func testRig(t *testing.T, load LoadFn) (*cpu.Platform, *Manager) {
+	t.Helper()
+	spec, err := models.SkyLake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(p.Sim, p, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func TestNewManagerDefaults(t *testing.T) {
+	p, m := testRig(t, nil)
+	for i := 0; i < p.NumCores(); i++ {
+		pol, err := m.Policy(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Governor != GovPerformance {
+			t.Errorf("core %d default governor %q", i, pol.Governor)
+		}
+		if pol.MinKHz != 800_000 || pol.MaxKHz != 3_600_000 {
+			t.Errorf("core %d bounds %d..%d", i, pol.MinKHz, pol.MaxKHz)
+		}
+	}
+	if _, err := m.Policy(99); err == nil {
+		t.Error("policy for bogus core")
+	}
+}
+
+func TestPerformanceGovernorPinsMax(t *testing.T) {
+	p, m := testRig(t, nil)
+	if err := m.SetGovernor(0, GovPerformance); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 3_600_000 {
+		t.Fatalf("performance governor freq %d", got)
+	}
+}
+
+func TestPowersaveGovernorPinsMin(t *testing.T) {
+	p, m := testRig(t, nil)
+	if err := m.SetGovernor(0, GovPowersave); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 800_000 {
+		t.Fatalf("powersave governor freq %d", got)
+	}
+}
+
+func TestUserspaceGovernorSetSpeed(t *testing.T) {
+	p, m := testRig(t, nil)
+	if err := m.SetSpeed(0, 2_000_000); err == nil {
+		t.Fatal("SetSpeed under non-userspace governor accepted")
+	}
+	if err := m.SetGovernor(0, GovUserspace); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSpeed(0, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 2_000_000 {
+		t.Fatalf("userspace speed %d", got)
+	}
+	// Off-grid request snaps to nearest table entry.
+	if err := m.SetSpeed(0, 2_040_000); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 2_000_000 {
+		t.Fatalf("off-grid snapped to %d", got)
+	}
+}
+
+func TestBoundsClampGovernors(t *testing.T) {
+	p, m := testRig(t, nil)
+	if err := m.SetBounds(0, 1_000_000, 2_500_000); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 2_500_000 {
+		t.Fatalf("performance within bounds: %d", got)
+	}
+	if err := m.SetBounds(0, 3_000_000, 1_000_000); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if err := m.SetBounds(42, 1, 2); err == nil {
+		t.Fatal("bogus core accepted")
+	}
+}
+
+func TestUnknownGovernorRejected(t *testing.T) {
+	_, m := testRig(t, nil)
+	if err := m.SetGovernor(0, "turbo-nitro"); err == nil {
+		t.Fatal("unknown governor accepted")
+	}
+	if err := m.SetGovernor(-1, GovPerformance); err == nil {
+		t.Fatal("negative core accepted")
+	}
+}
+
+func TestOndemandGovernorTracksLoad(t *testing.T) {
+	load := 0.0
+	p, m := testRig(t, func(core int) float64 { return load })
+	if err := m.SetGovernor(0, GovOndemand); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+
+	load = 1.0 // saturated: jump to max
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 3_600_000 {
+		t.Fatalf("ondemand under full load: %d", got)
+	}
+
+	load = 0.0 // idle: fall to min
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 800_000 {
+		t.Fatalf("ondemand idle: %d", got)
+	}
+
+	load = 0.5 // proportional middle
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	got := p.FreqKHz(0)
+	if got < 1_800_000 || got > 2_600_000 {
+		t.Fatalf("ondemand at 50%% load: %d", got)
+	}
+}
+
+func TestConservativeGovernorStepsGradually(t *testing.T) {
+	load := 1.0
+	p, m := testRig(t, func(core int) float64 { return load })
+	if err := m.SetGovernor(0, GovUserspace); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSpeed(0, 800_000); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if err := m.SetGovernor(0, GovConservative); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	// One sample: exactly one 100 MHz step up.
+	p.Sim.RunFor(11 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 900_000 {
+		t.Fatalf("conservative first step: %d", got)
+	}
+	// Drop load: steps back down.
+	load = 0.0
+	p.Sim.RunFor(11 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 800_000 {
+		t.Fatalf("conservative step down: %d", got)
+	}
+	if m.Transitions == 0 {
+		t.Fatal("no transitions counted")
+	}
+}
+
+func TestCPUPowerFrequencySet(t *testing.T) {
+	// The Algorithm 2 path: cpupower forces userspace and pins frequency.
+	p, m := testRig(t, nil)
+	cp := &CPUPower{M: m}
+	if err := cp.FrequencySet(1, 1_500_000); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.FreqKHz(1); got != 1_500_000 {
+		t.Fatalf("cpupower set freq %d", got)
+	}
+	pol, _ := m.Policy(1)
+	if pol.Governor != GovUserspace {
+		t.Fatalf("cpupower left governor %q", pol.Governor)
+	}
+	info, err := cp.FrequencyInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CurrentKHz != 1_500_000 || info.Governor != GovUserspace {
+		t.Fatalf("frequency-info: %+v", info)
+	}
+	if len(info.TableKHz) != 29 {
+		t.Fatalf("table length %d", len(info.TableKHz))
+	}
+	if _, err := cp.FrequencyInfo(77); err == nil {
+		t.Fatal("info for bogus core")
+	}
+}
+
+func TestSetSpeedBogusCore(t *testing.T) {
+	_, m := testRig(t, nil)
+	if err := m.SetSpeed(9, 1_000_000); err == nil {
+		t.Fatal("bogus core accepted")
+	}
+}
+
+func TestTableCopyIsDefensive(t *testing.T) {
+	_, m := testRig(t, nil)
+	tab := m.Table()
+	tab[0] = 42
+	if m.Table()[0] == 42 {
+		t.Fatal("Table() exposes internal slice")
+	}
+}
+
+func TestSchedutilGovernorTracksUtilization(t *testing.T) {
+	load := 0.0
+	p, m := testRig(t, func(core int) float64 { return load })
+	if err := m.SetGovernor(0, GovSchedutil); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+
+	load = 1.0
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 3_600_000 {
+		t.Fatalf("schedutil at full util: %d", got)
+	}
+
+	load = 0.5 // 1.25 * 3.6 GHz * 0.5 = 2.25 GHz -> nearest 2.2/2.3
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got < 2_100_000 || got > 2_400_000 {
+		t.Fatalf("schedutil at 50%% util: %d", got)
+	}
+
+	load = 0.0
+	p.Sim.RunFor(25 * sim.Millisecond)
+	p.SettleAll()
+	if got := p.FreqKHz(0); got != 800_000 {
+		t.Fatalf("schedutil idle: %d", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// time base for the simulated Intel DVFS platform.
+//
+// All hardware substrates (voltage regulator slew, PLL relock, kernel-module
+// polling, victim execution) schedule work on a single virtual clock with
+// picosecond resolution. Determinism is a hard requirement: every experiment
+// in the reproduction must be replayable bit-for-bit from a seed, so the
+// simulator owns a seeded random source and events at equal timestamps fire
+// in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, measured in picoseconds since simulation
+// start. int64 picoseconds cover ~106 days of virtual time, far beyond any
+// experiment in this repository.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration = Time
+
+// Common duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders a Time using the largest natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.6gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel pending work (e.g. a kernel module being unloaded mid
+// poll interval).
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Time reports when the event fires (or was scheduled to fire).
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event simulation kernel.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	seed    int64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// Two simulators built with the same seed and driven by the same schedule of
+// calls produce identical event orders and identical random draws.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Seed returns the seed the simulator was constructed with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Rand exposes the simulator's deterministic random source. All stochastic
+// models (clock jitter, fault coin flips) must draw from this source and
+// never from the global rand, otherwise replays diverge.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far; useful for tests and
+// for asserting progress bounds.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (fires at the current instant, after already-queued events at the
+// same timestamp).
+func (s *Simulator) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an error
+// in the caller; we clamp to now to keep the clock monotone, which is the
+// least surprising recovery.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// step executes the earliest pending event. It returns false when the queue
+// is empty.
+func (s *Simulator) step(limit Time) bool {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > limit {
+			return false
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+const maxTime = Time(1<<63 - 1)
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step(maxTime) {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && s.step(t) {
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil relative to the current time.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now + d) }
+
+// Ticker invokes fn every period until cancelled. The first invocation is
+// one full period after the call. Cancel the returned Ticker to stop.
+type Ticker struct {
+	sim      *Simulator
+	period   Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+	Fires    uint64 // number of completed invocations
+	lastFire Time
+}
+
+// Every creates and starts a Ticker. Period must be positive.
+func (s *Simulator) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.Fires++
+		t.lastFire = t.sim.Now()
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times and from within the
+// tick callback itself.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// LastFire reports the virtual time of the most recent completed tick.
+func (t *Ticker) LastFire() Time { return t.lastFire }

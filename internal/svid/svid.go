@@ -1,0 +1,196 @@
+// Package svid models the Serial Voltage Identification bus between the
+// CPU's power-control unit and the voltage regulator — the interface
+// VoltPillager physically attacks ("hardware-based fault injection attacks
+// against Intel SGX enclaves using the SVID voltage scaling interface").
+//
+// The model covers what the attack and its analysis need:
+//
+//   - framed commands (address, opcode, payload, parity) clocked at the
+//     bus rate, so commands take real time and can interleave;
+//   - a controller (the PCU) that serializes the CPU's voltage requests;
+//   - an injector tap: a soldered-on microcontroller that drives frames
+//     the controller never sent. Chen et al. showed the VR honors the
+//     *last* command it hears, so the injector wins by re-sending after
+//     every legitimate packet;
+//   - a bus monitor for the defensive analysis: what could firmware see if
+//     the VR logged traffic? (Counterfeit frames are electrically
+//     indistinguishable, but their *count* is not — the basis for the
+//     anomaly counters.)
+package svid
+
+import (
+	"errors"
+	"fmt"
+
+	"plugvolt/internal/sim"
+	"plugvolt/internal/vr"
+)
+
+// Opcode is an SVID command type.
+type Opcode uint8
+
+// Supported opcodes (subset of the real protocol).
+const (
+	OpSetVID     Opcode = 0x01 // set target voltage
+	OpSetVIDFast Opcode = 0x02 // set target with fast slew
+	OpGetStatus  Opcode = 0x07
+)
+
+// Frame is one bus packet.
+type Frame struct {
+	// Addr selects the VR rail (core, uncore...).
+	Addr uint8
+	Op   Opcode
+	// VID is the voltage identifier; VID 0 is off, each step is 5 mV above
+	// the 245 mV base (the VR12/VR12.5 convention).
+	VID uint8
+	// Injected marks frames that did not come from the PCU. The flag is
+	// simulation metadata — the electrical bus carries no such bit, which
+	// is exactly VoltPillager's point.
+	Injected bool
+}
+
+// VIDToMV converts a VID code to millivolts (VR12: 245 mV + 5 mV/step).
+func VIDToMV(vid uint8) float64 {
+	if vid == 0 {
+		return 0
+	}
+	return 245 + 5*float64(vid)
+}
+
+// MVToVID converts millivolts to the nearest VID (clamping into range).
+func MVToVID(mv float64) uint8 {
+	if mv < 250 {
+		return 1
+	}
+	v := (mv-245)/5 + 0.5
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// Bus is one SVID segment with a single VR listener.
+type Bus struct {
+	simr *sim.Simulator
+	rail *vr.Regulator
+	// FrameTime is the serialization time of one packet (the real bus
+	// runs at 25 MHz with ~30-bit frames; ~1.2 us per frame).
+	FrameTime sim.Duration
+
+	// busyUntil serializes transmission (frames cannot overlap).
+	busyUntil sim.Time
+
+	// Telemetry: the VR-side view of traffic.
+	Frames         uint64
+	InjectedFrames uint64
+	LastFrame      Frame
+	// Log, when enabled, retains recent frames for the monitor.
+	Log    []Frame
+	LogCap int
+}
+
+// NewBus attaches a bus to a regulator rail.
+func NewBus(s *sim.Simulator, rail *vr.Regulator) (*Bus, error) {
+	if s == nil || rail == nil {
+		return nil, errors.New("svid: need simulator and rail")
+	}
+	return &Bus{simr: s, rail: rail, FrameTime: 1200 * sim.Nanosecond, LogCap: 64}, nil
+}
+
+// send serializes a frame and applies it at the VR after transmission.
+func (b *Bus) send(f Frame) error {
+	if f.Op != OpSetVID && f.Op != OpSetVIDFast && f.Op != OpGetStatus {
+		return fmt.Errorf("svid: unknown opcode 0x%x", uint8(f.Op))
+	}
+	start := b.simr.Now()
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	done := start + b.FrameTime
+	b.busyUntil = done
+	b.simr.At(done, func() {
+		b.Frames++
+		if f.Injected {
+			b.InjectedFrames++
+		}
+		b.LastFrame = f
+		if b.LogCap > 0 {
+			b.Log = append(b.Log, f)
+			if len(b.Log) > b.LogCap {
+				b.Log = b.Log[len(b.Log)-b.LogCap:]
+			}
+		}
+		if f.Op == OpSetVID || f.Op == OpSetVIDFast {
+			// The VR honors whatever it last heard.
+			b.rail.SetTarget(VIDToMV(f.VID))
+		}
+	})
+	return nil
+}
+
+// Controller is the PCU's transmit path.
+type Controller struct {
+	bus *Bus
+	// Sent counts legitimate commands.
+	Sent uint64
+}
+
+// NewController builds the PCU-side endpoint.
+func NewController(b *Bus) *Controller { return &Controller{bus: b} }
+
+// SetVoltage issues a legitimate SetVID for targetMV.
+func (c *Controller) SetVoltage(targetMV float64) error {
+	c.Sent++
+	return c.bus.send(Frame{Addr: 0, Op: OpSetVID, VID: MVToVID(targetMV)})
+}
+
+// Injector is the VoltPillager tap: a second transmitter on the same wires.
+type Injector struct {
+	bus *Bus
+	// Sent counts injected frames.
+	Sent uint64
+}
+
+// NewInjector solders onto the bus.
+func NewInjector(b *Bus) *Injector { return &Injector{bus: b} }
+
+// Inject drives a counterfeit SetVID.
+func (i *Injector) Inject(targetMV float64) error {
+	i.Sent++
+	return i.bus.send(Frame{Addr: 0, Op: OpSetVIDFast, VID: MVToVID(targetMV), Injected: true})
+}
+
+// Pin repeatedly re-injects targetMV every period, out-shouting the PCU —
+// the published attack's persistence loop. Stop the returned ticker to
+// desolder.
+func (i *Injector) Pin(s *sim.Simulator, targetMV float64, period sim.Duration) *sim.Ticker {
+	return s.Every(period, func() { _ = i.Inject(targetMV) })
+}
+
+// MonitorStats is the defensive view: what a VR-side counter would show.
+type MonitorStats struct {
+	Frames         uint64
+	InjectedFrames uint64
+	// ExpectedFrames is the PCU's own send count; a mismatch with Frames
+	// reveals out-of-band traffic even though individual frames carry no
+	// provenance.
+	ExpectedFrames uint64
+	Mismatch       uint64
+}
+
+// Audit compares VR-side and PCU-side counters. This is the hardware
+// analogue of the guard's voltage cross-check: detection is possible,
+// prevention is not (the injector can also replay the exact expected
+// count... only if it can suppress PCU frames, which a passive tap cannot).
+func Audit(b *Bus, c *Controller) MonitorStats {
+	st := MonitorStats{
+		Frames:         b.Frames,
+		InjectedFrames: b.InjectedFrames,
+		ExpectedFrames: c.Sent,
+	}
+	if st.Frames > st.ExpectedFrames {
+		st.Mismatch = st.Frames - st.ExpectedFrames
+	}
+	return st
+}

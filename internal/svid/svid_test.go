@@ -1,0 +1,161 @@
+package svid
+
+import (
+	"math"
+	"testing"
+
+	"plugvolt/internal/sim"
+	"plugvolt/internal/vr"
+)
+
+func rig(t *testing.T) (*sim.Simulator, *vr.Regulator, *Bus) {
+	t.Helper()
+	s := sim.New(1)
+	rail, err := vr.New(s, vr.Config{CommandLatency: 20 * sim.Microsecond, SlewMVPerUS: 0.5, InitialMV: 1050})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBus(s, rail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rail, b
+}
+
+func TestVIDCodec(t *testing.T) {
+	if VIDToMV(0) != 0 {
+		t.Fatal("VID 0 not off")
+	}
+	if VIDToMV(1) != 250 {
+		t.Fatalf("VID 1 = %v mV", VIDToMV(1))
+	}
+	// Round trip on the 5 mV grid.
+	for mv := 250.0; mv <= 1500; mv += 5 {
+		if got := VIDToMV(MVToVID(mv)); math.Abs(got-mv) > 2.5 {
+			t.Fatalf("VID round trip %v -> %v", mv, got)
+		}
+	}
+	if MVToVID(100) != 1 {
+		t.Fatal("sub-range voltage not clamped to VID 1")
+	}
+	if MVToVID(5000) != 255 {
+		t.Fatal("over-range voltage not clamped")
+	}
+}
+
+func TestBusValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewBus(nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+	rail, _ := vr.New(s, vr.DefaultConfig(1000))
+	b, _ := NewBus(s, rail)
+	if err := b.send(Frame{Op: Opcode(0x55)}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestControllerDrivesRail(t *testing.T) {
+	s, rail, b := rig(t)
+	pcu := NewController(b)
+	if err := pcu.SetVoltage(900); err != nil {
+		t.Fatal(err)
+	}
+	// Frame must serialize first: nothing happens before FrameTime.
+	s.RunFor(b.FrameTime / 2)
+	if rail.Target() != 1050 {
+		t.Fatal("rail retargeted before the frame finished")
+	}
+	s.RunFor(b.FrameTime)
+	if got := rail.Target(); math.Abs(got-900) > 2.5 {
+		t.Fatalf("rail target %v after SetVID", got)
+	}
+	if b.Frames != 1 || b.InjectedFrames != 0 || pcu.Sent != 1 {
+		t.Fatalf("counters: %d/%d/%d", b.Frames, b.InjectedFrames, pcu.Sent)
+	}
+	if b.LastFrame.Op != OpSetVID || b.LastFrame.Injected {
+		t.Fatalf("last frame %+v", b.LastFrame)
+	}
+}
+
+func TestFramesSerialize(t *testing.T) {
+	s, rail, b := rig(t)
+	pcu := NewController(b)
+	// Two back-to-back commands: the second lands one FrameTime later.
+	_ = pcu.SetVoltage(900)
+	_ = pcu.SetVoltage(950)
+	s.RunFor(b.FrameTime + b.FrameTime/2)
+	if got := rail.Target(); math.Abs(got-900) > 2.5 {
+		t.Fatalf("mid-serialization target %v", got)
+	}
+	s.RunFor(b.FrameTime)
+	if got := rail.Target(); math.Abs(got-950) > 2.5 {
+		t.Fatalf("final target %v", got)
+	}
+}
+
+func TestInjectorOutshoutsController(t *testing.T) {
+	// The VoltPillager persistence loop: whoever speaks last owns the VR.
+	s, rail, b := rig(t)
+	pcu := NewController(b)
+	tap := NewInjector(b)
+	pin := tap.Pin(s, 600, 50*sim.Microsecond)
+	defer pin.Stop()
+	// The PCU keeps commanding the proper voltage every 200 us.
+	pcuTick := s.Every(200*sim.Microsecond, func() { _ = pcu.SetVoltage(1050) })
+	defer pcuTick.Stop()
+	s.RunFor(2 * sim.Millisecond)
+	// Injected frames outnumber legitimate 4:1, so the rail target is the
+	// attacker's most of the time.
+	if got := rail.Target(); math.Abs(got-600) > 2.5 {
+		t.Fatalf("rail target %v — injector not winning", got)
+	}
+	if b.InjectedFrames <= b.Frames-b.InjectedFrames {
+		t.Fatalf("injected %d of %d frames — persistence loop too slow", b.InjectedFrames, b.Frames)
+	}
+}
+
+func TestAuditDetectsCounterfeitTraffic(t *testing.T) {
+	s, _, b := rig(t)
+	pcu := NewController(b)
+	tap := NewInjector(b)
+	_ = pcu.SetVoltage(1000)
+	_ = tap.Inject(700)
+	_ = tap.Inject(700)
+	s.RunFor(10 * b.FrameTime)
+	st := Audit(b, pcu)
+	if st.Frames != 3 || st.ExpectedFrames != 1 {
+		t.Fatalf("audit counts: %+v", st)
+	}
+	if st.Mismatch != 2 {
+		t.Fatalf("mismatch %d, want 2", st.Mismatch)
+	}
+	// Clean bus audits clean.
+	s2, rail2, _ := rig(t)
+	_ = s2
+	b2, _ := NewBus(s2, rail2)
+	pcu2 := NewController(b2)
+	_ = pcu2.SetVoltage(1000)
+	s2.RunFor(5 * b2.FrameTime)
+	if st2 := Audit(b2, pcu2); st2.Mismatch != 0 {
+		t.Fatalf("clean bus mismatch %d", st2.Mismatch)
+	}
+}
+
+func TestLogRetention(t *testing.T) {
+	s, _, b := rig(t)
+	b.LogCap = 4
+	pcu := NewController(b)
+	for i := 0; i < 10; i++ {
+		_ = pcu.SetVoltage(900 + float64(i)*5)
+	}
+	s.RunFor(20 * b.FrameTime)
+	if len(b.Log) != 4 {
+		t.Fatalf("log length %d", len(b.Log))
+	}
+	// Retained frames are the most recent ones.
+	last := b.Log[len(b.Log)-1]
+	if VIDToMV(last.VID) < 940 {
+		t.Fatalf("log did not retain the tail: last %v mV", VIDToMV(last.VID))
+	}
+}

@@ -1,0 +1,215 @@
+// Package ucode models the Intel microcode-update machinery the paper's
+// Section 5.1 deployment rides on.
+//
+// Real microcode updates are encrypted blobs loaded via BIOS or the OS
+// early loader; the patch RAM holds replacement micro-op sequences and the
+// *match registers* redirect architectural events — such as a wrmsr to a
+// particular MSR — into the sequencer, which runs the patched routine.
+// Reverse-engineering work (Koppe et al., Borrello et al., cited by the
+// paper) showed exactly this structure.
+//
+// The model captures the deployment-relevant behaviour:
+//
+//   - updates carry a revision and a set of wrmsr match/patch handlers;
+//   - loading is privileged, monotonic in revision by default (downgrade
+//     protection), and resets with the machine (updates are volatile);
+//   - the loaded revision is visible to attestation, which is how a client
+//     knows the Sec. 5.1 write-guard is actually resident;
+//   - the paper's countermeasure becomes a Patch on MSR 0x150 whose
+//     handler write-ignores offsets beyond the maximal safe state, with
+//     the value burned into the update's ROM constants.
+package ucode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/msr"
+)
+
+// Patch is one match-register entry: a wrmsr handler for an MSR address.
+type Patch struct {
+	// Addr is the matched MSR.
+	Addr msr.Addr
+	// Handler runs instead of the stock wrmsr commit; semantics follow
+	// msr.WriteHook (transform, write-ignore by returning old, or #GP).
+	Handler msr.WriteHook
+	// Note documents the patch for the update manifest.
+	Note string
+}
+
+// Update is a loadable microcode update.
+type Update struct {
+	// Revision is the update version (e.g. 0xf4); loads must be monotone.
+	Revision uint32
+	// CPUSignature ties the update to a model (family/model/stepping in
+	// reality; the codename here).
+	CPUSignature string
+	// Patches are the match-register entries.
+	Patches []Patch
+	// ROM holds named constants compiled into the update (the paper:
+	// "the microcode ROM stores the value of the maximal safe state").
+	ROM map[string]int64
+}
+
+// Validate checks structural sanity.
+func (u *Update) Validate() error {
+	if u.Revision == 0 {
+		return errors.New("ucode: revision 0 is reserved for 'no update'")
+	}
+	if u.CPUSignature == "" {
+		return errors.New("ucode: update needs a CPU signature")
+	}
+	seen := map[msr.Addr]bool{}
+	for _, p := range u.Patches {
+		if p.Handler == nil {
+			return fmt.Errorf("ucode: patch for 0x%x has no handler", uint32(p.Addr))
+		}
+		if seen[p.Addr] {
+			return fmt.Errorf("ucode: duplicate patch for 0x%x", uint32(p.Addr))
+		}
+		seen[p.Addr] = true
+	}
+	return nil
+}
+
+// Sequencer is one machine's microcode facility.
+type Sequencer struct {
+	platform *cpu.Platform
+	loaded   *Update
+	hookIDs  map[msr.Addr][]int // per-address hook ids, per core order
+	// AllowDowngrade disables the monotonicity check (debug fuses).
+	AllowDowngrade bool
+	// Loads counts successful update loads.
+	Loads uint64
+}
+
+// NewSequencer attaches the facility to a platform.
+func NewSequencer(p *cpu.Platform) (*Sequencer, error) {
+	if p == nil {
+		return nil, errors.New("ucode: nil platform")
+	}
+	return &Sequencer{platform: p, hookIDs: map[msr.Addr][]int{}}, nil
+}
+
+// Revision returns the loaded revision (0 = stock ROM only).
+func (s *Sequencer) Revision() uint32 {
+	if s.loaded == nil {
+		return 0
+	}
+	return s.loaded.Revision
+}
+
+// ROMValue reads a named constant from the loaded update.
+func (s *Sequencer) ROMValue(name string) (int64, bool) {
+	if s.loaded == nil {
+		return 0, false
+	}
+	v, ok := s.loaded.ROM[name]
+	return v, ok
+}
+
+// Load applies an update: validates, checks the signature and revision
+// monotonicity, unhooks any previous update and installs the new match
+// registers on every core.
+func (s *Sequencer) Load(u *Update) error {
+	if u == nil {
+		return errors.New("ucode: nil update")
+	}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	if u.CPUSignature != s.platform.Spec.Codename {
+		return fmt.Errorf("ucode: update signed for %q, machine is %q",
+			u.CPUSignature, s.platform.Spec.Codename)
+	}
+	if !s.AllowDowngrade && u.Revision <= s.Revision() {
+		return fmt.Errorf("ucode: revision 0x%x not newer than loaded 0x%x",
+			u.Revision, s.Revision())
+	}
+	s.unhook()
+	for _, p := range u.Patches {
+		p := p
+		for i := 0; i < s.platform.NumCores(); i++ {
+			id := s.platform.MSRFile(i).AddWriteHook(p.Addr, p.Handler)
+			s.hookIDs[p.Addr] = append(s.hookIDs[p.Addr], id)
+		}
+	}
+	s.loaded = u
+	s.Loads++
+	return nil
+}
+
+// unhook removes the previous update's match registers.
+func (s *Sequencer) unhook() {
+	for addr, ids := range s.hookIDs {
+		for i, id := range ids {
+			core := i % s.platform.NumCores()
+			s.platform.MSRFile(core).RemoveWriteHook(addr, id)
+		}
+	}
+	s.hookIDs = map[msr.Addr][]int{}
+}
+
+// Reset models a machine reset: microcode updates are volatile, so the
+// patch RAM empties and the revision returns to 0. Must be called by
+// whoever drives Platform.Reboot (reboot rebuilds MSR files, so the hooks
+// are gone either way; Reset keeps the sequencer's book-keeping honest).
+func (s *Sequencer) Reset() {
+	s.hookIDs = map[msr.Addr][]int{}
+	s.loaded = nil
+}
+
+// Manifest renders the loaded update for audit logs.
+func (s *Sequencer) Manifest() string {
+	if s.loaded == nil {
+		return "microcode: stock ROM (no update loaded)"
+	}
+	out := fmt.Sprintf("microcode revision 0x%x for %s\n", s.loaded.Revision, s.loaded.CPUSignature)
+	for _, p := range s.loaded.Patches {
+		out += fmt.Sprintf("  match wrmsr 0x%x: %s\n", uint32(p.Addr), p.Note)
+	}
+	keys := make([]string, 0, len(s.loaded.ROM))
+	for k := range s.loaded.ROM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out += fmt.Sprintf("  rom %s = %d\n", k, s.loaded.ROM[k])
+	}
+	return out
+}
+
+// ROMKeyMaxSafe is the ROM constant name carrying the maximal safe state.
+const ROMKeyMaxSafe = "maximal_safe_offset_mv"
+
+// PlugVoltUpdate builds the Sec. 5.1 countermeasure as a microcode update:
+// a wrmsr match on the OC mailbox whose handler write-ignores any core-
+// plane offset deeper than the maximal safe state stored in the update ROM.
+// ignored, when non-nil, counts dropped writes.
+func PlugVoltUpdate(revision uint32, cpuSignature string, maxSafeOffsetMV int, ignored *uint64) (*Update, error) {
+	if maxSafeOffsetMV > 0 {
+		return nil, fmt.Errorf("ucode: maximal safe offset %d must be <= 0", maxSafeOffsetMV)
+	}
+	return &Update{
+		Revision:     revision,
+		CPUSignature: cpuSignature,
+		ROM:          map[string]int64{ROMKeyMaxSafe: int64(maxSafeOffsetMV)},
+		Patches: []Patch{{
+			Addr: msr.OCMailbox,
+			Note: fmt.Sprintf("write-ignore core-plane undervolts beyond %d mV (Plug Your Volt, Sec. 5.1)", maxSafeOffsetMV),
+			Handler: func(_ *msr.File, old, v uint64) (uint64, error) {
+				d := msr.DecodeVoltageOffset(v)
+				if d.Busy && d.Write && d.Plane == msr.PlaneCore && d.OffsetMV < maxSafeOffsetMV {
+					if ignored != nil {
+						*ignored++
+					}
+					return old, nil
+				}
+				return v, nil
+			},
+		}},
+	}, nil
+}

@@ -1,0 +1,204 @@
+package ucode
+
+import (
+	"strings"
+	"testing"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+)
+
+func newPlatform(t *testing.T) *cpu.Platform {
+	t.Helper()
+	spec, err := models.SkyLake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSequencerBasics(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := NewSequencer(nil); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	s, err := NewSequencer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Revision() != 0 {
+		t.Fatalf("stock revision %d", s.Revision())
+	}
+	if _, ok := s.ROMValue("anything"); ok {
+		t.Fatal("ROM value from stock ROM")
+	}
+	if !strings.Contains(s.Manifest(), "stock ROM") {
+		t.Fatalf("manifest %q", s.Manifest())
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	noop := func(_ *msr.File, _, v uint64) (uint64, error) { return v, nil }
+	cases := []*Update{
+		nil,
+		{Revision: 0, CPUSignature: "Sky Lake"},
+		{Revision: 1, CPUSignature: ""},
+		{Revision: 1, CPUSignature: "Sky Lake", Patches: []Patch{{Addr: msr.OCMailbox}}},
+		{Revision: 1, CPUSignature: "Sky Lake", Patches: []Patch{
+			{Addr: msr.OCMailbox, Handler: noop},
+			{Addr: msr.OCMailbox, Handler: noop},
+		}},
+	}
+	p := newPlatform(t)
+	s, _ := NewSequencer(p)
+	for i, u := range cases {
+		if err := s.Load(u); err == nil {
+			t.Errorf("bad update %d accepted", i)
+		}
+	}
+}
+
+func TestSignatureAndRevisionChecks(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := NewSequencer(p)
+	wrong, err := PlugVoltUpdate(0xf1, "Comet Lake", -70, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(wrong); err == nil {
+		t.Fatal("wrong-signature update accepted")
+	}
+	u1, _ := PlugVoltUpdate(0xf1, "Sky Lake", -70, nil)
+	if err := s.Load(u1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Revision() != 0xf1 {
+		t.Fatalf("revision %x", s.Revision())
+	}
+	// Downgrade and same-revision rejected.
+	u0, _ := PlugVoltUpdate(0xf0, "Sky Lake", -70, nil)
+	if err := s.Load(u0); err == nil {
+		t.Fatal("downgrade accepted")
+	}
+	same, _ := PlugVoltUpdate(0xf1, "Sky Lake", -60, nil)
+	if err := s.Load(same); err == nil {
+		t.Fatal("same revision accepted")
+	}
+	// Debug fuse allows it.
+	s.AllowDowngrade = true
+	if err := s.Load(u0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Loads != 2 {
+		t.Fatalf("loads %d", s.Loads)
+	}
+}
+
+func TestPlugVoltUpdateWriteIgnores(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := NewSequencer(p)
+	var ignored uint64
+	u, err := PlugVoltUpdate(0xf1, "Sky Lake", -70, &ignored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlugVoltUpdate(1, "Sky Lake", 5, nil); err == nil {
+		t.Fatal("positive maximal safe accepted")
+	}
+	if err := s.Load(u); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.ROMValue(ROMKeyMaxSafe); !ok || v != -70 {
+		t.Fatalf("ROM constant %d, %v", v, ok)
+	}
+	if !strings.Contains(s.Manifest(), "write-ignore") {
+		t.Fatalf("manifest: %s", s.Manifest())
+	}
+
+	// Safe write passes on every core; unsafe write is ignored on every
+	// core (the update installs machine-wide).
+	for core := 0; core < p.NumCores(); core++ {
+		if err := p.WriteOffsetViaMSR(core, -50, msr.PlaneCore); err != nil {
+			t.Fatal(err)
+		}
+		p.SettleAll()
+		if got := p.Core(core).OffsetMV(); got != -50 {
+			t.Fatalf("core %d safe write: %d", core, got)
+		}
+		if err := p.WriteOffsetViaMSR(core, -200, msr.PlaneCore); err != nil {
+			t.Fatalf("write-ignore errored: %v", err)
+		}
+		p.SettleAll()
+		if got := p.Core(core).OffsetMV(); got != -50 {
+			t.Fatalf("core %d unsafe write applied: %d", core, got)
+		}
+	}
+	if ignored != uint64(p.NumCores()) {
+		t.Fatalf("ignored %d", ignored)
+	}
+}
+
+func TestNewerUpdateReplacesPatches(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := NewSequencer(p)
+	var ig1, ig2 uint64
+	u1, _ := PlugVoltUpdate(0xf1, "Sky Lake", -70, &ig1)
+	if err := s.Load(u1); err != nil {
+		t.Fatal(err)
+	}
+	u2, _ := PlugVoltUpdate(0xf2, "Sky Lake", -120, &ig2)
+	if err := s.Load(u2); err != nil {
+		t.Fatal(err)
+	}
+	// -100 is beyond u1's limit but within u2's: it must now pass,
+	// proving u1's handler is gone.
+	if err := p.WriteOffsetViaMSR(0, -100, msr.PlaneCore); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.Core(0).OffsetMV(); got != -100 {
+		t.Fatalf("offset %d — old patch still resident", got)
+	}
+	if ig1 != 0 {
+		t.Fatalf("old handler fired %d times", ig1)
+	}
+	if err := p.WriteOffsetViaMSR(0, -200, msr.PlaneCore); err != nil {
+		t.Fatal(err)
+	}
+	if ig2 != 1 {
+		t.Fatalf("new handler fired %d times", ig2)
+	}
+}
+
+func TestResetDropsUpdate(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := NewSequencer(p)
+	u, _ := PlugVoltUpdate(0xf1, "Sky Lake", -70, nil)
+	if err := s.Load(u); err != nil {
+		t.Fatal(err)
+	}
+	p.Reboot() // wipes MSR files and with them the hooks
+	s.Reset()
+	if s.Revision() != 0 {
+		t.Fatalf("revision after reset %x", s.Revision())
+	}
+	// Unsafe write passes again: the machine is unprotected until the
+	// early loader reapplies the update — exactly the volatility the
+	// attestation revision check exists for.
+	if err := p.WriteOffsetViaMSR(0, -200, msr.PlaneCore); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	if got := p.Core(0).OffsetMV(); got > -195 {
+		t.Fatalf("offset %d — protection survived reset?!", got)
+	}
+	// And the same update can be loaded again post-reset.
+	if err := s.Load(u); err != nil {
+		t.Fatal(err)
+	}
+}

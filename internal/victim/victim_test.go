@@ -1,0 +1,633 @@
+package victim
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+)
+
+func newPlatform(t *testing.T, seed int64) *cpu.Platform {
+	t.Helper()
+	spec, err := models.SkyLake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.NewPlatform(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// undervoltIntoFaultWindow drives the core to an operating point where imul
+// faults but the machine stays up.
+func undervoltIntoFaultWindow(t *testing.T, p *cpu.Platform, core int) {
+	t.Helper()
+	c := p.Core(core)
+	for off := -1; off >= -400; off-- {
+		if err := p.WriteOffsetViaMSR(core, off, msr.PlaneCore); err != nil {
+			t.Fatal(err)
+		}
+		p.SettleAll()
+		if c.FaultProbability(cpu.ClassIMul) > 5e-4 && c.CrashProbability() < 1e-10 {
+			return
+		}
+	}
+	t.Fatal("no fault window")
+}
+
+func TestIMulLoopCleanRun(t *testing.T) {
+	p := newPlatform(t, 1)
+	l, err := NewIMulLoop(p.Core(0), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 0 {
+		t.Fatalf("%d faults at stock voltage", faults)
+	}
+	if l.Pos() != l.Len() {
+		t.Fatalf("pos %d after full run", l.Pos())
+	}
+	// Step after completion keeps reporting done.
+	done, err := l.Step()
+	if err != nil || !done {
+		t.Fatal("completed loop not done")
+	}
+}
+
+func TestIMulLoopDetectsFaults(t *testing.T) {
+	p := newPlatform(t, 2)
+	undervoltIntoFaultWindow(t, p, 0)
+	l, err := NewIMulLoop(p.Core(0), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := l.Run()
+	if err != nil {
+		t.Fatalf("crash inside window: %v", err)
+	}
+	if faults == 0 {
+		t.Fatal("no faults detected in fault window")
+	}
+}
+
+func TestIMulLoopBatchMatchesStatistics(t *testing.T) {
+	p := newPlatform(t, 3)
+	undervoltIntoFaultWindow(t, p, 0)
+	l, _ := NewIMulLoop(p.Core(0), 1_000_000)
+	res, err := l.RunBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == 0 || l.Faults != res.Faults {
+		t.Fatalf("batch faults %d, loop faults %d", res.Faults, l.Faults)
+	}
+	if l.Pos() != l.Len() {
+		t.Fatal("batch did not consume loop")
+	}
+}
+
+func TestIMulLoopReset(t *testing.T) {
+	p := newPlatform(t, 1)
+	l, _ := NewIMulLoop(p.Core(0), 100)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset()
+	if l.Pos() != 0 || l.Faults != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestIMulLoopValidation(t *testing.T) {
+	p := newPlatform(t, 1)
+	if _, err := NewIMulLoop(nil, 10); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	if _, err := NewIMulLoop(p.Core(0), 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestGenerateRSAKeyDeterministic(t *testing.T) {
+	k1, err := GenerateRSAKey(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateRSAKey(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k2.N) != 0 {
+		t.Fatal("same seed produced different keys")
+	}
+	k3, err := GenerateRSAKey(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k3.N) == 0 {
+		t.Fatal("different seeds produced identical keys")
+	}
+	if _, err := GenerateRSAKey(64, 1); err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+}
+
+func TestRSAKeyInternalConsistency(t *testing.T) {
+	k, err := GenerateRSAKey(512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := k.HashToInt([]byte("consistency"))
+	// Plain (non-CRT) signature verifies.
+	sig := new(big.Int).Exp(m, k.D, k.N)
+	if !k.Verify(m, sig) {
+		t.Fatal("plain RSA signature did not verify")
+	}
+	// CRT parameters are consistent: Dp = D mod p-1, Qinv*Q = 1 mod p.
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(k.P, one)
+	if new(big.Int).Mod(k.D, pm1).Cmp(k.Dp) != 0 {
+		t.Fatal("Dp inconsistent")
+	}
+	if new(big.Int).Mod(new(big.Int).Mul(k.Qinv, k.Q), k.P).Cmp(one) != 0 {
+		t.Fatal("Qinv inconsistent")
+	}
+	if new(big.Int).Mul(k.P, k.Q).Cmp(k.N) != 0 {
+		t.Fatal("N != P*Q")
+	}
+}
+
+func TestCRTSignerCleanSignatureVerifies(t *testing.T) {
+	p := newPlatform(t, 5)
+	k, err := GenerateRSAKey(512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCRTSigner(k, p.Core(0), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := k.HashToInt([]byte("attack at dawn"))
+	sig, faulted, err := s.Sign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted {
+		t.Fatal("fault at stock voltage")
+	}
+	if !k.Verify(m, sig) {
+		t.Fatal("CRT signature did not verify")
+	}
+	if s.Steps == 0 {
+		t.Fatal("no core multiplications recorded")
+	}
+	if got := s.StepsPerSign(m); got != s.Steps {
+		t.Fatalf("StepsPerSign %d != observed %d", got, s.Steps)
+	}
+}
+
+func TestCRTSignerValidation(t *testing.T) {
+	p := newPlatform(t, 5)
+	k, _ := GenerateRSAKey(512, 11)
+	if _, err := NewCRTSigner(nil, p.Core(0), 1); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if _, err := NewCRTSigner(k, nil, 1); err == nil {
+		t.Fatal("nil core accepted")
+	}
+}
+
+func TestFaultySignatureEnablesFactorRecovery(t *testing.T) {
+	// The Plundervolt end-to-end condition: undervolt, sign until a fault
+	// lands in one CRT half, run Boneh-DeMillo-Lipton, factor N.
+	p := newPlatform(t, 6)
+	undervoltIntoFaultWindow(t, p, 0)
+	k, err := GenerateRSAKey(512, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCRTSigner(k, p.Core(0), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := k.HashToInt([]byte("plundervolt"))
+	recovered := false
+	for attempt := 0; attempt < 400 && !recovered; attempt++ {
+		sig, faulted, err := s.Sign(m)
+		if err != nil {
+			t.Fatalf("crash during signing: %v", err)
+		}
+		if !faulted {
+			continue
+		}
+		if k.Verify(m, sig) {
+			t.Fatal("faulted signature verified — fault model broken")
+		}
+		if f, ok := RecoverFactor(k.N, k.E, m, sig); ok {
+			if !FactorsN(k.N, f) {
+				t.Fatalf("recovered non-factor %v", f)
+			}
+			if f.Cmp(k.P) != 0 && f.Cmp(k.Q) != 0 {
+				t.Fatal("recovered factor is neither p nor q")
+			}
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("factor not recovered after 400 signing attempts")
+	}
+}
+
+func TestRecoverFactorRejectsCleanSignature(t *testing.T) {
+	p := newPlatform(t, 5)
+	k, _ := GenerateRSAKey(512, 11)
+	s, _ := NewCRTSigner(k, p.Core(0), 99)
+	m := k.HashToInt([]byte("clean"))
+	sig, _, err := s.Sign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := RecoverFactor(k.N, k.E, m, sig); ok {
+		t.Fatal("recovered factor from a valid signature")
+	}
+	if _, ok := RecoverFactor(k.N, k.E, m, nil); ok {
+		t.Fatal("recovered factor from nil signature")
+	}
+}
+
+func TestStepHookObservesEveryMultiplication(t *testing.T) {
+	p := newPlatform(t, 5)
+	k, _ := GenerateRSAKey(512, 11)
+	s, _ := NewCRTSigner(k, p.Core(0), 99)
+	var seen []int
+	s.StepHook = func(step int) { seen = append(seen, step) }
+	m := k.HashToInt([]byte("hooked"))
+	if _, _, err := s.Sign(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != s.Steps {
+		t.Fatalf("hook saw %d steps, signer reports %d", len(seen), s.Steps)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("hook indices not sequential at %d", i)
+		}
+	}
+}
+
+// AES-128 FIPS-197 appendix C.1 vector.
+func TestAESKnownAnswer(t *testing.T) {
+	key := []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	pt := []byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	want := []byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	a, err := NewAES128(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := a.EncryptPure(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if ct[i] != want[i] {
+			t.Fatalf("FIPS-197 KAT mismatch at byte %d: got %02x want %02x", i, ct[i], want[i])
+		}
+	}
+}
+
+func TestAESOnCoreMatchesPureAtNominal(t *testing.T) {
+	p := newPlatform(t, 5)
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	a, err := NewAES128(key, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("sixteen byte msg")
+	ref, err := a.EncryptPure(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, round, err := a.EncryptOn(p.Core(0), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != -1 {
+		t.Fatalf("fault at stock voltage (round %d)", round)
+	}
+	for i := range ref {
+		if ct[i] != ref[i] {
+			t.Fatal("core encryption differs from reference at stock voltage")
+		}
+	}
+}
+
+// undervoltIntoAESWindow targets the shallower AES path specifically.
+func undervoltIntoAESWindow(t *testing.T, p *cpu.Platform, core int) {
+	t.Helper()
+	c := p.Core(core)
+	for off := -1; off >= -450; off-- {
+		if err := p.WriteOffsetViaMSR(core, off, msr.PlaneCore); err != nil {
+			t.Fatal(err)
+		}
+		p.SettleAll()
+		if c.FaultProbability(cpu.ClassAES) > 1e-4 && c.CrashProbability() < 1e-9 {
+			return
+		}
+	}
+	t.Fatal("no AES fault window")
+}
+
+func TestAESFaultsUnderUndervolt(t *testing.T) {
+	p := newPlatform(t, 9)
+	undervoltIntoAESWindow(t, p, 0)
+	key := make([]byte, 16)
+	a, _ := NewAES128(key, 3)
+	pt := make([]byte, 16)
+	ref, _ := a.EncryptPure(pt)
+	sawFault := false
+	for i := 0; i < 100_000 && !sawFault; i++ {
+		pt[0], pt[1] = byte(i), byte(i>>8)
+		ref, _ = a.EncryptPure(pt)
+		ct, round, err := a.EncryptOn(p.Core(0), pt)
+		if err != nil {
+			t.Fatalf("crash: %v", err)
+		}
+		if round >= 0 {
+			sawFault = true
+			same := true
+			for j := range ref {
+				if ct[j] != ref[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("faulted round produced correct ciphertext")
+			}
+			if round < 1 || round > 10 {
+				t.Fatalf("fault round %d out of range", round)
+			}
+		}
+	}
+	if !sawFault {
+		t.Fatal("no AES fault in window")
+	}
+}
+
+func TestAESValidation(t *testing.T) {
+	if _, err := NewAES128(make([]byte, 15), 1); err == nil {
+		t.Fatal("short key accepted")
+	}
+	a, _ := NewAES128(make([]byte, 16), 1)
+	if _, err := a.EncryptPure(make([]byte, 5)); err == nil {
+		t.Fatal("short block accepted")
+	}
+	p := newPlatform(t, 1)
+	if _, _, err := a.EncryptOn(nil, make([]byte, 16)); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	if _, _, err := a.EncryptOn(p.Core(0), make([]byte, 3)); err == nil {
+		t.Fatal("short block accepted on core")
+	}
+}
+
+func TestCrashPropagatesFromLoop(t *testing.T) {
+	p := newPlatform(t, 4)
+	if err := p.WriteOffsetViaMSR(0, -500, msr.PlaneCore); err != nil {
+		t.Fatal(err)
+	}
+	p.SettleAll()
+	l, _ := NewIMulLoop(p.Core(0), 1_000_000)
+	_, err := l.Run()
+	if !errors.Is(err, cpu.ErrCrashed) {
+		t.Fatalf("expected ErrCrashed, got %v", err)
+	}
+}
+
+func BenchmarkCRTSign512(b *testing.B) {
+	spec, _ := models.SkyLake()
+	p, _ := cpu.NewPlatform(spec, 1)
+	k, _ := GenerateRSAKey(512, 11)
+	s, _ := NewCRTSigner(k, p.Core(0), 99)
+	m := k.HashToInt([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = s.Sign(m)
+	}
+}
+
+func BenchmarkAESEncryptOnCore(b *testing.B) {
+	spec, _ := models.SkyLake()
+	p, _ := cpu.NewPlatform(spec, 1)
+	a, _ := NewAES128(make([]byte, 16), 1)
+	pt := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = a.EncryptOn(p.Core(0), pt)
+	}
+}
+
+func TestVerifyBeforeReleaseBlocksKeyExtraction(t *testing.T) {
+	// The classic application-level mitigation: a faulty CRT signature is
+	// caught by public-key verification and never released, so the BDL
+	// gcd has nothing to work with.
+	p := newPlatform(t, 21)
+	undervoltIntoFaultWindow(t, p, 0)
+	k, err := GenerateRSAKey(512, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCRTSigner(k, p.Core(0), 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.VerifyBeforeRelease = true
+	m := k.HashToInt([]byte("protected"))
+	retried := false
+	for i := 0; i < 200; i++ {
+		sig, faulted, err := s.Sign(m)
+		if errors.Is(err, ErrSignatureUnstable) {
+			// Deep in the window the retry budget can run out — that is a
+			// DoS, not a leak; acceptable outcome.
+			retried = true
+			continue
+		}
+		if err != nil {
+			t.Fatalf("crash: %v", err)
+		}
+		if faulted {
+			t.Fatal("protected signer reported a released faulty signature")
+		}
+		if !k.Verify(m, sig) {
+			t.Fatal("protected signer released an invalid signature")
+		}
+		if s.Retries > 0 {
+			retried = true
+		}
+		if _, ok := RecoverFactor(k.N, k.E, m, sig); ok {
+			t.Fatal("released signature leaked a factor")
+		}
+	}
+	if !retried {
+		t.Fatal("fault window never triggered a verify-retry — window miscalibrated")
+	}
+}
+
+func TestVerifyBeforeReleaseUnstableMachine(t *testing.T) {
+	// Push the fault probability so high that retries exhaust: the signer
+	// degrades to denial of service rather than leaking.
+	p := newPlatform(t, 22)
+	c := p.Core(0)
+	for off := -1; off >= -450; off-- {
+		if err := p.WriteOffsetViaMSR(0, off, msr.PlaneCore); err != nil {
+			t.Fatal(err)
+		}
+		p.SettleAll()
+		if c.FaultProbability(cpu.ClassIMul) > 0.05 && c.CrashProbability() < 1e-9 {
+			break
+		}
+	}
+	k, _ := GenerateRSAKey(512, 23)
+	s, _ := NewCRTSigner(k, c, 29)
+	s.VerifyBeforeRelease = true
+	s.MaxRetries = 3
+	m := k.HashToInt([]byte("dos"))
+	sawUnstable := false
+	for i := 0; i < 50 && !sawUnstable; i++ {
+		_, _, err := s.Sign(m)
+		if errors.Is(err, ErrSignatureUnstable) {
+			sawUnstable = true
+		} else if err != nil {
+			t.Fatalf("crash: %v", err)
+		}
+	}
+	if !sawUnstable {
+		t.Fatal("retry budget never exhausted at 5% per-mul fault rate")
+	}
+}
+
+func TestSignProgramMatchesDirectSign(t *testing.T) {
+	p := newPlatform(t, 31)
+	k, err := GenerateRSAKey(512, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCRTSigner(k, p.Core(0), 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := k.HashToInt([]byte("steppable"))
+	prog, err := NewSignProgram(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSignProgram(nil, m); err == nil {
+		t.Fatal("nil signer accepted")
+	}
+	if prog.Len() == 0 || prog.Signature() != nil {
+		t.Fatal("bad initial state")
+	}
+	steps := 0
+	for {
+		done, err := prog.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != prog.Len() || prog.Pos() != prog.Len() {
+		t.Fatalf("steps %d of %d", steps, prog.Len())
+	}
+	sig := prog.Signature()
+	if sig == nil || !k.Verify(m, sig) {
+		t.Fatal("stepped signature invalid")
+	}
+	// Identical to the monolithic path (deterministic platform, no faults).
+	direct, _, err := s.Sign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Cmp(direct) != 0 {
+		t.Fatal("stepped and direct signatures differ")
+	}
+	// Step after completion keeps reporting done.
+	if done, err := prog.Step(); err != nil || !done {
+		t.Fatal("completed program not done")
+	}
+}
+
+func TestSignProgramUnderSingleSteppingAttack(t *testing.T) {
+	// The stepping adversary undervolts during exactly one multiply step
+	// of a real RSA-CRT signature and recovers a factor from the result —
+	// the full Sec. 4.1 threat model against the application layer.
+	p := newPlatform(t, 32)
+	c := p.Core(0)
+	attackOffset := 0
+	for off := -1; off >= -400; off-- {
+		if err := p.WriteOffsetViaMSR(0, off, msr.PlaneCore); err != nil {
+			t.Fatal(err)
+		}
+		p.SettleAll()
+		if c.FaultProbability(cpu.ClassIMul) > 0.4 && c.CrashProbability() < 1e-6 {
+			attackOffset = off
+			break
+		}
+	}
+	if attackOffset == 0 {
+		t.Fatal("no high-rate fault point")
+	}
+	restore := func() { _ = p.WriteOffsetViaMSR(0, 0, msr.PlaneCore); p.SettleAll() }
+	undervolt := func() { _ = p.WriteOffsetViaMSR(0, attackOffset, msr.PlaneCore); p.SettleAll() }
+	restore()
+
+	k, _ := GenerateRSAKey(512, 37)
+	s, _ := NewCRTSigner(k, c, 39)
+	m := k.HashToInt([]byte("stepped-fault"))
+
+	for attempt := 0; attempt < 200; attempt++ {
+		prog, err := NewSignProgram(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Target one multiply inside the first CRT half.
+		target := 5 + attempt%40
+		for i := 0; ; i++ {
+			if i == target {
+				undervolt()
+			}
+			done, err := prog.Step()
+			if i == target {
+				restore()
+			}
+			if err != nil {
+				t.Fatalf("crash at step %d: %v", i, err)
+			}
+			if done {
+				break
+			}
+		}
+		sig := prog.Signature()
+		if k.Verify(m, sig) {
+			continue // the targeted step didn't fault this time
+		}
+		if f, ok := RecoverFactor(k.N, k.E, m, sig); ok && FactorsN(k.N, f) {
+			return // key material extracted via stepping
+		}
+	}
+	t.Fatal("stepping attack never produced an exploitable signature")
+}

@@ -1,0 +1,193 @@
+// Package plugvolt is the public API of the "Plug Your Volt" (DAC 2024)
+// reproduction: a simulated Intel DVFS platform, the paper's safe/unsafe
+// state characterization (Algorithm 2), the polling countermeasure kernel
+// module (Algorithm 3), the maximal-safe-state hardware variants (Sec. 5),
+// the prior-work baselines, and the published attacks to evaluate them all
+// against.
+//
+// Typical use:
+//
+//	sys, _ := plugvolt.NewSystem("skylake", 42)
+//	grid, _ := sys.Characterize(plugvolt.QuickSweep())
+//	guard, _ := sys.DeployGuard(grid)
+//	res, _ := plugvolt.NewPlundervolt(7).Run(sys.Env(), guard.Name())
+//	fmt.Println(res) // DEFEATED
+//
+// The heavy lifting lives in the internal packages; this package wires them
+// together and re-exports the vocabulary types.
+package plugvolt
+
+import (
+	"fmt"
+
+	"plugvolt/internal/attack"
+	"plugvolt/internal/core"
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/defense"
+	"plugvolt/internal/kernel"
+	"plugvolt/internal/models"
+	"plugvolt/internal/pstate"
+	"plugvolt/internal/sgx"
+	"plugvolt/internal/sim"
+)
+
+// Re-exported vocabulary types. Aliases keep the internal packages as the
+// single source of truth while letting downstream code name everything
+// through this package.
+type (
+	// Grid is a full safe/unsafe characterization (Figs. 2-4 in data form).
+	Grid = core.Grid
+	// UnsafeSet is the compiled boundary the guard polls against.
+	UnsafeSet = core.UnsafeSet
+	// Guard is the Algorithm 3 polling countermeasure.
+	Guard = core.Guard
+	// GuardConfig tunes the polling countermeasure.
+	GuardConfig = core.GuardConfig
+	// CharacterizerConfig tunes the Algorithm 2 sweep.
+	CharacterizerConfig = core.CharacterizerConfig
+	// Countermeasure is any deployable defense.
+	Countermeasure = defense.Countermeasure
+	// AttackResult records one attack campaign.
+	AttackResult = attack.Result
+	// Spec describes a CPU model.
+	Spec = models.Spec
+)
+
+// Attack and defense constructors re-exported for discoverability.
+var (
+	// NewPlundervolt builds the RSA-CRT key-extraction campaign.
+	NewPlundervolt = attack.DefaultPlundervolt
+	// NewVoltJockey builds the frequency-manipulation campaign.
+	NewVoltJockey = attack.DefaultVoltJockey
+	// NewV0LTpwn builds the integrity-corruption campaign.
+	NewV0LTpwn = attack.DefaultV0LTpwn
+	// DefaultGuardConfig is the paper-faithful polling configuration.
+	DefaultGuardConfig = core.DefaultGuardConfig
+)
+
+// Models lists the supported CPU model names.
+func Models() []string { return []string{"skylake", "kabylaker", "cometlake"} }
+
+// System is a ready-to-experiment machine: simulated CPU, kernel, SGX
+// registry and cpufreq stack.
+type System struct {
+	Platform *cpu.Platform
+	Kernel   *kernel.Kernel
+	Registry *sgx.Registry
+	CPUFreq  *pstate.Manager
+}
+
+// NewSystem boots a simulated machine of the named model ("skylake",
+// "kabylaker" or "cometlake"). The seed drives every stochastic element;
+// identical seeds replay identical experiments.
+func NewSystem(model string, seed int64) (*System, error) {
+	spec, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	p, err := cpu.NewPlatform(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := pstate.NewManager(p.Sim, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Platform: p,
+		Kernel:   kernel.New(p.Sim, p),
+		Registry: sgx.NewRegistry(p.Sim),
+		CPUFreq:  mgr,
+	}
+	// Attestation reports carry the hyperthreading status (the precedent
+	// the paper cites for attesting software features); derive it from the
+	// model's SMT topology.
+	if topo, err := p.Topology(); err == nil {
+		sys.Registry.Features.HyperThreadingEnabled = topo.SMT() > 1
+	}
+	return sys, nil
+}
+
+// Env packages the system for attack/defense deployment.
+func (s *System) Env() *defense.Env {
+	return &defense.Env{Platform: s.Platform, Kernel: s.Kernel, Registry: s.Registry}
+}
+
+// PaperSweep returns the paper's full Algorithm 2 configuration: every
+// table frequency at 0.1 GHz resolution, offsets -1..-300 mV in 1 mV steps,
+// one million imuls per point.
+func PaperSweep() CharacterizerConfig {
+	return core.DefaultCharacterizerConfig()
+}
+
+// QuickSweep returns a coarser sweep (5 mV steps, 200k imuls, floor
+// -350 mV) that preserves the published shape at a fraction of the cost —
+// the default for examples and tests.
+func QuickSweep() CharacterizerConfig {
+	cfg := core.DefaultCharacterizerConfig()
+	cfg.Iterations = 200_000
+	cfg.OffsetStartMV = -5
+	cfg.OffsetStepMV = -5
+	cfg.OffsetEndMV = -350
+	return cfg
+}
+
+// Characterize runs the Algorithm 2 sweep on this system.
+func (s *System) Characterize(cfg CharacterizerConfig) (*Grid, error) {
+	ch, err := core.NewCharacterizer(s.Platform, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Run()
+}
+
+// DeployGuard characterizes nothing — it installs the polling defense built
+// from an existing grid, with the default configuration.
+func (s *System) DeployGuard(grid *Grid) (*defense.Polling, error) {
+	return s.DeployGuardConfig(grid, core.DefaultGuardConfig())
+}
+
+// DeployGuardConfig installs the polling defense with a custom config.
+func (s *System) DeployGuardConfig(grid *Grid, cfg GuardConfig) (*defense.Polling, error) {
+	if grid == nil {
+		return nil, fmt.Errorf("plugvolt: nil grid")
+	}
+	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := pol.Install(s.Env()); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// Defenses instantiates the full countermeasure lineup for a characterized
+// system (experiment E2): none, access control, polling, microcode
+// write-ignore and the hardware clamp. The polling defense is returned
+// uninstalled; install/uninstall via the Countermeasure interface.
+func (s *System) Defenses(grid *Grid) ([]Countermeasure, error) {
+	if grid == nil {
+		return nil, fmt.Errorf("plugvolt: nil grid")
+	}
+	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, core.DefaultGuardConfig())
+	if err != nil {
+		return nil, err
+	}
+	// The hardware variants clamp to the maximal safe state with a 20 mV
+	// statistical guard band: the measured onset is where faults become
+	// *observable* in 200k-1M instructions, and states slightly shallower
+	// still fault at minute rates a patient attacker can farm (the same
+	// tail the polling guard's MarginMV covers).
+	msv := grid.MaximalSafeOffsetMV(20)
+	return []Countermeasure{
+		defense.None{},
+		&defense.AccessControl{},
+		pol,
+		&defense.Microcode{MaxSafeOffsetMV: msv},
+		&defense.ClampMSR{LimitMV: msv},
+	}, nil
+}
+
+// RunFor advances the system's virtual clock (convenience wrapper).
+func (s *System) RunFor(d sim.Duration) { s.Platform.Sim.RunFor(d) }
