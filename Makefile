@@ -1,0 +1,42 @@
+# plugvolt build / verification entry points.
+#
+# `make test-race` is the CI gate for the sharded characterization engine:
+# the parallel sweep must stay data-race free (worker platforms are private;
+# progress callbacks are serialized through the merge loop).
+
+GO ?= go
+
+.PHONY: build test test-race fuzz bench golden golden-update artifacts
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race hygiene: vet plus the full suite under the race detector.
+test-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short fuzz pass over the grid codec and the shard merge ordering.
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGridJSONRoundTrip -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzRowMergeOrdering -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGridFromJSON -fuzztime 10s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Golden-artifact conformance: re-derive figs 2-4 at 1/2/8 workers and diff
+# bit-for-bit against artifacts/. golden-update rewrites the goldens after
+# an intentional engine change.
+golden:
+	$(GO) test ./internal/golden -run Golden -v
+
+golden-update:
+	$(GO) test ./internal/golden -run Golden -update
+
+# Regenerate the full experiment bundle (identical bytes for any -workers).
+artifacts:
+	$(GO) run ./cmd/plugvolt-report -out artifacts

@@ -16,6 +16,7 @@
 package plugvolt_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -99,6 +100,47 @@ func BenchmarkFig3KabyLakeRCharacterization(b *testing.B) { benchCharacterizatio
 
 // F4 — Fig. 4: Comet Lake safe/unsafe characterization.
 func BenchmarkFig4CometLakeCharacterization(b *testing.B) { benchCharacterization(b, "cometlake") }
+
+// Scaling — the sharded engine across worker counts on the Comet Lake
+// model (the widest frequency table: 46 rows) at the paper's 1 mV offset
+// resolution, where row work dominates per-row platform construction
+// (~230us/row vs ~28us platform build). The grids are bit-for-bit
+// identical at every worker count; only wall-clock should move, and the
+// ns/op series across worker counts is what future BENCH_*.json snapshots
+// track. Speedup is bounded by GOMAXPROCS: on a single-CPU host the
+// series is flat-to-slightly-worse (workers time-slice one core and pay
+// channel coordination); the determinism assertions below hold either
+// way.
+func BenchmarkCharacterizeWorkers(b *testing.B) {
+	var refJSON []byte
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := plugvolt.NewSystem("cometlake", 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := plugvolt.PaperSweep()
+				cfg.Workers = workers
+				grid, err := sys.Characterize(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				js, err := grid.JSON()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if refJSON == nil {
+					refJSON = js
+				} else if !bytes.Equal(refJSON, js) {
+					b.Fatalf("workers=%d diverged from reference grid", workers)
+				}
+				b.ReportMetric(float64(grid.Reboots), "reboots")
+			}
+		})
+	}
+}
 
 // T2 — Table 2: SPEC2017 overhead of the polling module on Comet Lake.
 func BenchmarkTable2SpecOverhead(b *testing.B) {

@@ -7,6 +7,11 @@
 //	plugvolt-characterize -cpu cometlake -csv          # raw grid CSV
 //	plugvolt-characterize -cpu kabylaker -json out.json
 //	plugvolt-characterize -paper                       # full 1 mV / 1M sweep
+//	plugvolt-characterize -workers 8                   # shard the frequency axis
+//
+// The sweep is sharded across -workers goroutines (default GOMAXPROCS);
+// every frequency row derives its RNG stream from seed^freqKHz, so the grid
+// is bit-for-bit identical for any worker count.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		classes  = flag.Bool("classes", false, "compare fault onsets across instruction classes (imul/aes/fma)")
 		seeds    = flag.Int("seeds", 1, "run N seeds and report onset spread + conservative aggregate")
 		adaptive = flag.Bool("adaptive", false, "bisect onsets instead of scanning the full grid")
+		workers  = flag.Int("workers", 0, "frequency-row shards swept in parallel (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -41,6 +47,7 @@ func main() {
 	if *paper {
 		cfg = plugvolt.PaperSweep()
 	}
+	cfg.Workers = *workers
 	if *classes {
 		runClassComparison(*cpuName, *seed, cfg)
 		return

@@ -15,6 +15,7 @@
 //
 //	plugvolt-report -out artifacts
 //	plugvolt-report -out artifacts -full   # adds all 5 defenses + class curves
+//	plugvolt-report -workers 8             # shard the sweeps; same bytes out
 package main
 
 import (
@@ -35,9 +36,10 @@ import (
 )
 
 var (
-	outDir = flag.String("out", "artifacts", "output directory")
-	seed   = flag.Int64("seed", 42, "experiment seed")
-	full   = flag.Bool("full", false, "run the full defense matrix and class curves (slower)")
+	outDir  = flag.String("out", "artifacts", "output directory")
+	seed    = flag.Int64("seed", 42, "experiment seed")
+	full    = flag.Bool("full", false, "run the full defense matrix and class curves (slower)")
+	workers = flag.Int("workers", 0, "frequency-row shards per sweep (0 = GOMAXPROCS); artifacts are identical for any value")
 )
 
 func main() {
@@ -47,6 +49,10 @@ func main() {
 	}
 	var index strings.Builder
 	index.WriteString("# plugvolt experiment bundle\n\nRegenerated with `plugvolt-report`.\n\n")
+	index.WriteString("The `fig*` grids are golden artifacts: `go test ./internal/golden -run Golden` " +
+		"re-derives them with 1, 2 and 8 workers and diffs bit-for-bit; after an intentional " +
+		"engine change, regenerate with `go test ./internal/golden -run Golden -update` " +
+		"(or rerun `plugvolt-report`, which produces identical bytes for any `-workers` value).\n\n")
 
 	figures(&index)
 	table2(&index)
@@ -73,7 +79,7 @@ func figures(index *strings.Builder) {
 		if err != nil {
 			fatal(err)
 		}
-		grid, err := sys.Characterize(plugvolt.QuickSweep())
+		grid, err := sys.Characterize(quickCfg())
 		if err != nil {
 			fatal(err)
 		}
@@ -104,7 +110,7 @@ func table2(index *strings.Builder) {
 	if err != nil {
 		fatal(err)
 	}
-	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	grid, err := sys.Characterize(quickCfg())
 	if err != nil {
 		fatal(err)
 	}
@@ -149,11 +155,11 @@ func attackMatrix(index *strings.Builder) {
 		return sys.Env(), nil
 	}
 	pollBuilder := func(env *defense.Env) (defense.Countermeasure, error) {
-		ch, err := core.NewCharacterizer(env.Platform, quickCfg())
+		sc, err := core.NewShardedCharacterizer(env.Platform.Spec, env.Platform.Seed(), quickCfg())
 		if err != nil {
 			return nil, err
 		}
-		g, err := ch.Run()
+		g, err := sc.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +237,7 @@ func turnaround(index *strings.Builder) {
 	if err != nil {
 		fatal(err)
 	}
-	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	grid, err := sys.Characterize(quickCfg())
 	if err != nil {
 		fatal(err)
 	}
@@ -260,7 +266,7 @@ func classCurves(index *strings.Builder) {
 		if err != nil {
 			fatal(err)
 		}
-		cfg := plugvolt.QuickSweep()
+		cfg := quickCfg()
 		cfg.Class = cpu.Class(class)
 		grid, err := sys.Characterize(cfg)
 		if err != nil {
@@ -278,21 +284,20 @@ func classCurves(index *strings.Builder) {
 
 // --- helpers ---
 
+// quickCfg is the bundle's sweep configuration: plugvolt.QuickSweep plus
+// the CLI's worker count (the grids are identical for any value).
 func quickCfg() core.CharacterizerConfig {
-	cfg := core.DefaultCharacterizerConfig()
-	cfg.Iterations = 200_000
-	cfg.OffsetStartMV = -5
-	cfg.OffsetStepMV = -5
-	cfg.OffsetEndMV = -350
+	cfg := plugvolt.QuickSweep()
+	cfg.Workers = *workers
 	return cfg
 }
 
 func maximalSafe(env *defense.Env) (int, error) {
-	ch, err := core.NewCharacterizer(env.Platform, quickCfg())
+	sc, err := core.NewShardedCharacterizer(env.Platform.Spec, env.Platform.Seed(), quickCfg())
 	if err != nil {
 		return 0, err
 	}
-	g, err := ch.Run()
+	g, err := sc.Run()
 	if err != nil {
 		return 0, err
 	}

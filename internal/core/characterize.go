@@ -29,7 +29,16 @@ type CharacterizerConfig struct {
 	// faulted"); sweeping other classes measures that claim — shallower
 	// classes must show deeper onsets.
 	Class cpu.Class
+	// Workers is the number of frequency-row shards swept concurrently by
+	// the sharded engine (ShardedCharacterizer). <=0 means runtime
+	// GOMAXPROCS. The serial Characterizer ignores it. Results are
+	// bit-for-bit independent of the worker count: every row derives its
+	// RNG stream from seed^freqKHz, not from sweep order.
+	Workers int
 	// Progress, when set, is called after each frequency row completes.
+	// Under the sharded engine rows finish out of order: freqKHz names the
+	// row that just completed and rowsDone counts completions so far.
+	// Invocations are serialized; the callback never runs concurrently.
 	Progress func(freqKHz, rowsDone, rowsTotal int)
 }
 
@@ -57,27 +66,36 @@ type Characterizer struct {
 	cp  *pstate.CPUPower
 }
 
+// validateConfig checks a sweep config against a core count (shared by the
+// serial and sharded engines, which validate before any platform exists).
+func validateConfig(cfg CharacterizerConfig, numCores int) error {
+	if cfg.VictimCore == cfg.DriverCore {
+		return errors.New("core: victim and driver must be distinct cores")
+	}
+	for _, c := range []int{cfg.VictimCore, cfg.DriverCore} {
+		if c < 0 || c >= numCores {
+			return fmt.Errorf("core: no core %d", c)
+		}
+	}
+	if cfg.Iterations <= 0 {
+		return fmt.Errorf("core: iterations %d", cfg.Iterations)
+	}
+	if cfg.OffsetStepMV >= 0 {
+		return errors.New("core: offset step must be negative")
+	}
+	if cfg.OffsetStartMV >= 0 || cfg.OffsetEndMV > cfg.OffsetStartMV {
+		return fmt.Errorf("core: bad offset range %d..%d", cfg.OffsetStartMV, cfg.OffsetEndMV)
+	}
+	return nil
+}
+
 // NewCharacterizer validates the config against the platform.
 func NewCharacterizer(p *cpu.Platform, cfg CharacterizerConfig) (*Characterizer, error) {
 	if p == nil {
 		return nil, errors.New("core: nil platform")
 	}
-	if cfg.VictimCore == cfg.DriverCore {
-		return nil, errors.New("core: victim and driver must be distinct cores")
-	}
-	for _, c := range []int{cfg.VictimCore, cfg.DriverCore} {
-		if c < 0 || c >= p.NumCores() {
-			return nil, fmt.Errorf("core: no core %d", c)
-		}
-	}
-	if cfg.Iterations <= 0 {
-		return nil, fmt.Errorf("core: iterations %d", cfg.Iterations)
-	}
-	if cfg.OffsetStepMV >= 0 {
-		return nil, errors.New("core: offset step must be negative")
-	}
-	if cfg.OffsetStartMV >= 0 || cfg.OffsetEndMV > cfg.OffsetStartMV {
-		return nil, fmt.Errorf("core: bad offset range %d..%d", cfg.OffsetStartMV, cfg.OffsetEndMV)
+	if err := validateConfig(cfg, p.NumCores()); err != nil {
+		return nil, err
 	}
 	mgr, err := pstate.NewManager(p.Sim, p, nil)
 	if err != nil {
@@ -86,14 +104,17 @@ func NewCharacterizer(p *cpu.Platform, cfg CharacterizerConfig) (*Characterizer,
 	return &Characterizer{P: p, cfg: cfg, cp: &pstate.CPUPower{M: mgr}}, nil
 }
 
-// offsets materializes the sweep's offset axis.
-func (c *Characterizer) offsets() []int {
+// offsetAxis materializes a sweep config's offset axis.
+func offsetAxis(cfg CharacterizerConfig) []int {
 	var out []int
-	for o := c.cfg.OffsetStartMV; o >= c.cfg.OffsetEndMV; o += c.cfg.OffsetStepMV {
+	for o := cfg.OffsetStartMV; o >= cfg.OffsetEndMV; o += cfg.OffsetStepMV {
 		out = append(out, o)
 	}
 	return out
 }
+
+// offsets materializes the sweep's offset axis.
+func (c *Characterizer) offsets() []int { return offsetAxis(c.cfg) }
 
 // Run executes Algorithm 2 and returns the characterization grid.
 func (c *Characterizer) Run() (*Grid, error) {
@@ -120,34 +141,11 @@ func (c *Characterizer) Run() (*Grid, error) {
 	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
 
 	for fi, freqKHz := range freqs {
-		row := make([]Classification, len(offs))
+		row, err := c.sweepRow(freqKHz, offs)
+		if err != nil {
+			return nil, err
+		}
 		g.Cells[fi] = row
-		// Line 9: set core frequency through cpupower.
-		if err := c.cp.FrequencySet(c.cfg.VictimCore, freqKHz); err != nil {
-			return nil, fmt.Errorf("core: cpupower at %d kHz: %w", freqKHz, err)
-		}
-		crashed := false
-		for oi, offsetMV := range offs {
-			if crashed {
-				// Paper sweeps each frequency only until the first crash;
-				// deeper offsets are at least as bad (Eq. 1 monotone in V).
-				row[oi] = Crash
-				continue
-			}
-			cls, err := c.measurePoint(freqKHz, offsetMV)
-			if err != nil {
-				return nil, err
-			}
-			row[oi] = cls
-			if cls == Crash {
-				crashed = true
-				// Reboot restores stock settings; re-pin the row frequency
-				// is unnecessary (row is done), but restore the sweep's
-				// cpupower state for the next row.
-				p.Reboot()
-				c.resetCPUPower()
-			}
-		}
 		// Lines 13-14: restore normal frequency and voltage between rows.
 		if err := c.restore(origFreqKHz); err != nil {
 			return nil, err
@@ -158,6 +156,40 @@ func (c *Characterizer) Run() (*Grid, error) {
 	}
 	g.Reboots = p.Reboots - rebootsBefore
 	return g, nil
+}
+
+// sweepRow runs Algorithm 2's inner loop for one frequency: pin the row
+// frequency through cpupower, walk the offset axis until the first crash,
+// and label everything deeper Crash (Eq. 1 is monotone in V, so deeper
+// offsets are at least as bad). A crash reboots the platform and rebuilds
+// the cpufreq stack, as the paper's harness must.
+func (c *Characterizer) sweepRow(freqKHz int, offs []int) ([]Classification, error) {
+	// Line 9: set core frequency through cpupower.
+	if err := c.cp.FrequencySet(c.cfg.VictimCore, freqKHz); err != nil {
+		return nil, fmt.Errorf("core: cpupower at %d kHz: %w", freqKHz, err)
+	}
+	row := make([]Classification, len(offs))
+	crashed := false
+	for oi, offsetMV := range offs {
+		if crashed {
+			row[oi] = Crash
+			continue
+		}
+		cls, err := c.measurePoint(freqKHz, offsetMV)
+		if err != nil {
+			return nil, err
+		}
+		row[oi] = cls
+		if cls == Crash {
+			crashed = true
+			// Reboot restores stock settings; re-pinning the row frequency
+			// is unnecessary (row is done), but restore the sweep's
+			// cpupower state for whatever the caller runs next.
+			c.P.Reboot()
+			c.resetCPUPower()
+		}
+	}
+	return row, nil
 }
 
 // resetCPUPower rebuilds the cpufreq manager after a reboot (module state

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
 
 // FuzzGridFromJSON exercises the grid parser with arbitrary bytes: it must
 // never panic and must reject structurally invalid grids.
@@ -27,6 +31,116 @@ func FuzzGridFromJSON(f *testing.F) {
 		}
 		parsed.MaximalSafeOffsetMV(5)
 		parsed.UnsafeSet().Contains(parsed.FreqsKHz[0], -1000)
+	})
+}
+
+// FuzzGridJSONRoundTrip: any structurally valid grid must survive
+// JSON -> parse -> JSON with identical bytes — the property the golden
+// conformance suite and the sharded determinism guarantee both lean on.
+func FuzzGridJSONRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(10))
+	f.Add(int64(42), uint8(29), uint8(70))
+	f.Fuzz(func(t *testing.T, seed int64, nFreq, nOff uint8) {
+		freqs := 1 + int(nFreq%32)
+		offs := 1 + int(nOff%64)
+		rng := rand.New(rand.NewSource(seed))
+		g := &Grid{
+			Model:      "fuzz",
+			Microcode:  "0x1",
+			Seed:       seed,
+			Iterations: 1 + rng.Intn(1000),
+			Reboots:    rng.Intn(50),
+		}
+		for i := 0; i < freqs; i++ {
+			g.FreqsKHz = append(g.FreqsKHz, (i+1)*100_000)
+		}
+		for i := 0; i < offs; i++ {
+			g.OffsetsMV = append(g.OffsetsMV, -(i + 1))
+		}
+		g.Cells = make([][]Classification, freqs)
+		for fi := range g.Cells {
+			row := make([]Classification, offs)
+			for oi := range row {
+				row[oi] = Classification(rng.Intn(3))
+			}
+			g.Cells[fi] = row
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator produced invalid grid: %v", err)
+		}
+		data, err := g.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := GridFromJSON(data)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		again, err := parsed.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatal("grid JSON not byte-stable across a round trip")
+		}
+	})
+}
+
+// FuzzRowMergeOrdering: the sharded engine's merge must yield the same grid
+// for every row-arrival order (rows land by frequency index; reboot counts
+// sum). The fuzzer drives the permutation.
+func FuzzRowMergeOrdering(f *testing.F) {
+	f.Add([]byte{2, 0, 1})
+	f.Add([]byte{0xff, 0x01})
+	f.Fuzz(func(t *testing.T, order []byte) {
+		src := syntheticGrid()
+		rows := make([]rowResult, len(src.Cells))
+		for fi := range src.Cells {
+			rows[fi] = rowResult{fi: fi, row: src.Cells[fi], reboots: fi % 2}
+		}
+		skeleton := func() *Grid {
+			return &Grid{
+				Model:      src.Model,
+				Microcode:  src.Microcode,
+				Iterations: src.Iterations,
+				FreqsKHz:   src.FreqsKHz,
+				OffsetsMV:  src.OffsetsMV,
+				Cells:      make([][]Classification, len(src.Cells)),
+			}
+		}
+		ref := skeleton()
+		for _, r := range rows {
+			mergeRow(ref, r)
+		}
+		refJSON, err := ref.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fisher-Yates driven by the fuzz input: any byte stream is a
+		// schedule.
+		perm := make([]int, len(rows))
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			b := 0
+			if len(order) > 0 {
+				b = int(order[i%len(order)])
+			}
+			j := b % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		got := skeleton()
+		for _, i := range perm {
+			mergeRow(got, rows[i])
+		}
+		gotJSON, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Fatalf("merge order %v changed the grid", perm)
+		}
 	})
 }
 

@@ -303,11 +303,54 @@ func TestUnsafeSetJSONRoundTrip(t *testing.T) {
 }
 
 func TestClassificationString(t *testing.T) {
-	if Safe.String() != "safe" || Fault.String() != "fault" || Crash.String() != "crash" {
-		t.Fatal("classification strings wrong")
+	cases := []struct {
+		c    Classification
+		want string
+	}{
+		{Safe, "safe"},
+		{Fault, "fault"},
+		{Crash, "crash"},
+		// Default arm: anything outside the three defined classes renders
+		// as class(N) instead of aliasing a real classification.
+		{Classification(3), "class(3)"},
+		{Classification(9), "class(9)"},
+		{Classification(255), "class(255)"},
 	}
-	if Classification(9).String() != "class(9)" {
-		t.Fatal("unknown classification string")
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Classification(%d).String() = %q, want %q", uint8(c.c), got, c.want)
+		}
+	}
+}
+
+// TestGridFromJSONErrorTable pins every rejection path of the grid parser:
+// each payload must produce an error, never a silently-accepted grid (the
+// golden suite and the guard both trust parsed grids unconditionally).
+func TestGridFromJSONErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+	}{
+		{"malformed JSON", `{`},
+		{"empty object", `{}`},
+		{"empty axes", `{"freqs_khz":[],"offsets_mv":[],"cells":[]}`},
+		{"frequencies not ascending", `{"freqs_khz":[2000,1000],"offsets_mv":[-1],"cells":[[0],[0]]}`},
+		{"offsets not descending", `{"freqs_khz":[1000],"offsets_mv":[-2,-1],"cells":[[0,0]]}`},
+		{"duplicate offsets", `{"freqs_khz":[1000],"offsets_mv":[-1,-1],"cells":[[0,0]]}`},
+		{"positive offset start", `{"freqs_khz":[1000],"offsets_mv":[1,-1],"cells":[[0,0]]}`},
+		{"zero offset start", `{"freqs_khz":[1000],"offsets_mv":[0,-1],"cells":[[0,0]]}`},
+		{"row count mismatch", `{"freqs_khz":[1000,2000],"offsets_mv":[-1],"cells":[[0]]}`},
+		{"ragged row", `{"freqs_khz":[1000],"offsets_mv":[-1,-2],"cells":[[0]]}`},
+		{"cells wrong type", `{"freqs_khz":[1000],"offsets_mv":[-1],"cells":[["safe"]]}`},
+		{"cells not an array", `{"freqs_khz":[1000],"offsets_mv":[-1],"cells":7}`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if g, err := GridFromJSON([]byte(c.payload)); err == nil {
+				t.Fatalf("accepted as %+v", g)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"plugvolt/internal/cpu"
+	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
+)
+
+// RowSeed derives the private RNG seed for one frequency row of a sharded
+// sweep: seed ^ freqKHz. Every row's stochastic realization (jitter coin
+// flips, fault masks, crash points) is a pure function of the experiment
+// seed and the row frequency — never of which worker swept the row or in
+// what order — which is what makes the parallel sweep bit-for-bit equal to
+// the single-worker one.
+func RowSeed(seed int64, freqKHz int) int64 { return seed ^ int64(freqKHz) }
+
+// ShardedCharacterizer runs Algorithm 2 with the frequency axis partitioned
+// across N workers. Frequency rows are independent by construction (each
+// row starts from offset 0 and stops at its own crash onset), so the sweep
+// is embarrassingly parallel; the engine preserves determinism by giving
+// every row a private platform stack (simulator, cores, MSR files, PLLs,
+// regulators, cpufreq) built from RowSeed and by merging finished rows by
+// frequency index, not completion order.
+type ShardedCharacterizer struct {
+	// Factory builds the per-row platform stack. It is called concurrently
+	// from every worker and must be safe for concurrent use (pure
+	// constructors like the default cpu.FactoryFor(spec) are). Tests
+	// substitute failing factories.
+	Factory cpu.PlatformFactory
+
+	spec *models.Spec
+	seed int64
+	cfg  CharacterizerConfig
+}
+
+// NewShardedCharacterizer validates the sweep config against the spec.
+func NewShardedCharacterizer(spec *models.Spec, seed int64, cfg CharacterizerConfig) (*ShardedCharacterizer, error) {
+	if spec == nil {
+		return nil, errors.New("core: nil spec")
+	}
+	if err := validateConfig(cfg, spec.Cores); err != nil {
+		return nil, err
+	}
+	return &ShardedCharacterizer{
+		Factory: cpu.FactoryFor(spec),
+		spec:    spec,
+		seed:    seed,
+		cfg:     cfg,
+	}, nil
+}
+
+// workers resolves the shard count: cfg.Workers, defaulting to GOMAXPROCS,
+// capped at the row count (extra workers would only idle).
+func (sc *ShardedCharacterizer) workers(rows int) int {
+	w := sc.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	return w
+}
+
+// rowResult carries one finished frequency row from a worker to the merge
+// loop.
+type rowResult struct {
+	fi      int
+	row     []Classification
+	reboots int
+	err     error
+}
+
+// Run executes the sharded sweep and returns the merged grid. The result is
+// byte-identical across worker counts and schedules for a given (spec, seed,
+// config); see RowSeed for why.
+func (sc *ShardedCharacterizer) Run() (*Grid, error) {
+	freqs := sc.spec.FreqTableKHz()
+	offs := offsetAxis(sc.cfg)
+	g := &Grid{
+		Model:      sc.spec.Codename,
+		Microcode:  sc.spec.Microcode,
+		Seed:       sc.seed,
+		Iterations: sc.cfg.Iterations,
+		FreqsKHz:   freqs,
+		OffsetsMV:  offs,
+		Cells:      make([][]Classification, len(freqs)),
+	}
+
+	jobs := make(chan int)
+	results := make(chan rowResult)
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workers(len(freqs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range jobs {
+				row, reboots, err := sc.sweepRow(freqs[fi], offs)
+				results <- rowResult{fi: fi, row: row, reboots: reboots, err: err}
+			}
+		}()
+	}
+	go func() {
+		for fi := range freqs {
+			jobs <- fi
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The merge loop is the only consumer of results, so progress callbacks
+	// are serialized here: rows may finish out of order, but callbacks never
+	// run concurrently and rowsDone counts completions monotonically.
+	var firstErr error
+	done := 0
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: shard at %d kHz: %w", freqs[r.fi], r.err)
+			}
+			continue
+		}
+		mergeRow(g, r)
+		done++
+		if sc.cfg.Progress != nil {
+			sc.cfg.Progress(freqs[r.fi], done, len(freqs))
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+// mergeRow lands one finished row in the grid. Placement is by frequency
+// index and the reboot count is a sum, so the merged grid is independent of
+// arrival order.
+func mergeRow(g *Grid, r rowResult) {
+	g.Cells[r.fi] = r.row
+	g.Reboots += r.reboots
+}
+
+// sweepRow characterizes one frequency on a private platform stack: build
+// the machine from the row seed, record the stock operating point, run the
+// serial engine's row sweep, and restore — exactly the per-row protocol of
+// Characterizer.Run, minus the cross-row state.
+func (sc *ShardedCharacterizer) sweepRow(freqKHz int, offs []int) ([]Classification, int, error) {
+	p, err := sc.Factory(RowSeed(sc.seed, freqKHz))
+	if err != nil {
+		return nil, 0, err
+	}
+	ch, err := NewCharacterizer(p, sc.cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Algorithm 2 lines 6-7: record the normal operating point.
+	origStatus, err := p.MSRFile(sc.cfg.VictimCore).Read(msr.IA32PerfStatus)
+	if err != nil {
+		return nil, 0, err
+	}
+	origRatio, _ := msr.DecodePerfStatus(origStatus)
+	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
+
+	row, err := ch.sweepRow(freqKHz, offs)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Lines 13-14: restore the stock frequency and zero offset. The platform
+	// is discarded afterwards, but the restore keeps the row's RNG draw
+	// sequence identical to the serial engine's per-row protocol.
+	if err := ch.restore(origFreqKHz); err != nil {
+		return nil, 0, err
+	}
+	return row, p.Reboots, nil
+}

@@ -587,3 +587,16 @@ func (p *Platform) SettleAll() {
 
 // Seed returns the platform's RNG seed.
 func (p *Platform) Seed() int64 { return p.seed }
+
+// PlatformFactory constructs independent Platform instances on demand. The
+// sharded characterization engine hands every worker its own platform stack
+// (simulator, cores, MSR files, PLLs, regulators) built from a private seed,
+// so no simulated hardware is ever shared between goroutines.
+type PlatformFactory func(seed int64) (*Platform, error)
+
+// FactoryFor returns the canonical PlatformFactory for a spec: a fresh
+// NewPlatform per call. Spec is treated as read-only by the platform, so one
+// spec can safely back many concurrent factories.
+func FactoryFor(spec *models.Spec) PlatformFactory {
+	return func(seed int64) (*Platform, error) { return NewPlatform(spec, seed) }
+}

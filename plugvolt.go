@@ -132,13 +132,18 @@ func QuickSweep() CharacterizerConfig {
 	return cfg
 }
 
-// Characterize runs the Algorithm 2 sweep on this system.
+// Characterize runs the Algorithm 2 sweep on this system using the sharded
+// parallel engine: the frequency axis is partitioned across cfg.Workers
+// goroutines (default GOMAXPROCS), each row swept on a private platform
+// seeded with seed^freqKHz. Results are bit-for-bit identical for any
+// worker count and leave s.Platform untouched. core.NewCharacterizer
+// remains available for the serial, shared-platform protocol.
 func (s *System) Characterize(cfg CharacterizerConfig) (*Grid, error) {
-	ch, err := core.NewCharacterizer(s.Platform, cfg)
+	sc, err := core.NewShardedCharacterizer(s.Platform.Spec, s.Platform.Seed(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return ch.Run()
+	return sc.Run()
 }
 
 // DeployGuard characterizes nothing — it installs the polling defense built
