@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench golden golden-update artifacts
+.PHONY: build test test-race fuzz bench golden golden-update artifacts metrics-demo
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,16 @@ golden-update:
 # Regenerate the full experiment bundle (identical bytes for any -workers).
 artifacts:
 	$(GO) run ./cmd/plugvolt-report -out artifacts
+
+# Observability demo: an attack-vs-guard run that dumps the Prometheus
+# metric exposition, the structured event journal, and the victim core's
+# operating-point trace, then shows the guard/attack highlights.
+metrics-demo:
+	$(GO) run ./cmd/plugvolt-guard -window 10ms \
+		-metrics-out metrics.prom -events-out events.jsonl -trace trace.csv
+	@echo
+	@echo "== metrics.prom highlights"
+	@grep -E '^(guard_|kernel_stolen|attack_)' metrics.prom | head -20
+	@echo
+	@echo "== first events"
+	@head -5 events.jsonl

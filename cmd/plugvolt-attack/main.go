@@ -17,7 +17,23 @@ import (
 	"plugvolt/internal/attack"
 	"plugvolt/internal/defense"
 	"plugvolt/internal/report"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
+
+// campaignClock lets one telemetry set follow the matrix across systems:
+// every combination boots a fresh simulator, and the clock tracks whichever
+// one is currently running. Counters and journal entries from all
+// combinations accumulate in the shared set, distinguished by their
+// {attack, defense} labels.
+type campaignClock struct{ cur *sim.Simulator }
+
+func (c *campaignClock) now() sim.Time {
+	if c.cur == nil {
+		return 0
+	}
+	return c.cur.Now()
+}
 
 func main() {
 	var (
@@ -26,6 +42,8 @@ func main() {
 		atkName = flag.String("attack", "plundervolt", "attack: plundervolt, voltjockey, v0ltpwn or all")
 		defName = flag.String("defense", "none", "defense: none, access-control, polling, microcode, clamp or all")
 		matrix  = flag.Bool("matrix", false, "run every attack against every defense")
+		metrics = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the matrix ("-" = stdout)`)
+		events  = flag.String("events-out", "", `write the JSONL event journal here after the matrix ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -38,10 +56,12 @@ func main() {
 		defenseNames = []string{"none", "access-control", "polling", "microcode", "clamp"}
 	}
 
+	clock := &campaignClock{}
+	tel := telemetry.NewSet(clock.now, telemetry.DefaultJournalCap)
 	var results []*attack.Result
 	for _, dn := range defenseNames {
 		for _, an := range attackNames {
-			res, err := runOne(*cpuName, *seed, an, dn)
+			res, err := runOne(*cpuName, *seed, an, dn, tel, clock)
 			if err != nil {
 				fatal(err)
 			}
@@ -55,15 +75,28 @@ func main() {
 			fmt.Printf("  %s vs %s: %s\n", r.Attack, r.Defense, r.Notes)
 		}
 	}
+	if *metrics != "" {
+		if err := telemetry.DumpMetrics(*metrics, tel.Registry()); err != nil {
+			fatal(err)
+		}
+	}
+	if *events != "" {
+		if err := telemetry.DumpEvents(*events, tel.Events()); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // runOne boots a fresh system per combination so campaigns never share
-// state (crashes, characterization, module residue).
-func runOne(cpuName string, seed int64, attackName, defenseName string) (*attack.Result, error) {
+// state (crashes, characterization, module residue); the shared telemetry
+// set is rewired onto each system in turn.
+func runOne(cpuName string, seed int64, attackName, defenseName string, tel *telemetry.Set, clock *campaignClock) (*attack.Result, error) {
 	sys, err := plugvolt.NewSystem(cpuName, seed)
 	if err != nil {
 		return nil, err
 	}
+	sys.SetTelemetry(tel)
+	clock.cur = sys.Platform.Sim
 	var cm plugvolt.Countermeasure = defense.None{}
 	if defenseName != "none" {
 		grid, err := sys.Characterize(plugvolt.QuickSweep())
@@ -101,7 +134,11 @@ func runOne(cpuName string, seed int64, attackName, defenseName string) (*attack
 	default:
 		return nil, fmt.Errorf("unknown attack %q", attackName)
 	}
-	return atk.Run(sys.Env(), cm.Name())
+	res, err := atk.Run(sys.Env(), cm.Name())
+	if err == nil {
+		sys.CollectTelemetry()
+	}
+	return res, err
 }
 
 func fatal(err error) {

@@ -36,6 +36,8 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "run N seeds and report onset spread + conservative aggregate")
 		adaptive = flag.Bool("adaptive", false, "bisect onsets instead of scanning the full grid")
 		workers  = flag.Int("workers", 0, "frequency-row shards swept in parallel (0 = GOMAXPROCS); results are identical for any value")
+		metrics  = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the sweep ("-" = stdout)`)
+		events   = flag.String("events-out", "", `write the JSONL event journal here after the sweep ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -60,6 +62,11 @@ func main() {
 		runAdaptive(sys, cfg)
 		return
 	}
+	defer func() {
+		if err := sys.DumpTelemetry(*metrics, *events); err != nil {
+			fatal(err)
+		}
+	}()
 	cfg.Progress = func(freqKHz, done, total int) {
 		fmt.Fprintf(os.Stderr, "\rcharacterizing %s: %d/%d frequencies", sys.Platform.Spec.Codename, done, total)
 		if done == total {

@@ -12,13 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"plugvolt"
+	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/report"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/trace"
 	"plugvolt/internal/victim"
 )
 
@@ -29,6 +32,9 @@ func main() {
 		poll       = flag.Duration("poll", 100*time.Microsecond, "guard poll period")
 		window     = flag.Duration("window", 50*time.Millisecond, "attack observation window (virtual)")
 		turnaround = flag.Bool("turnaround", true, "print the E3 turnaround comparison")
+		metricsOut = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the run ("-" = stdout)`)
+		eventsOut  = flag.String("events-out", "", `write the JSONL event journal here after the run ("-" = stdout)`)
+		tracePath  = flag.String("trace", "", `record the victim core's operating-point timeline and dump it as CSV here ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -59,6 +65,16 @@ func main() {
 
 	// Live adversary: rewrite an unsafe offset on core 1 continually.
 	p := sys.Platform
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec, err = trace.NewRecorder(p.Core(1), 5*sim.Microsecond)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.Start(p.Sim); err != nil {
+			fatal(err)
+		}
+	}
 	freq := p.FreqKHz(1)
 	attackOffset := unsafe.OnsetMV[freq] - 60
 	attacker := p.Sim.Every(537*sim.Microsecond, func() {
@@ -86,6 +102,21 @@ func main() {
 	fmt.Printf("   guard checks: %d, interventions: %d, last at %v\n",
 		pol.Guard.Checks, pol.Guard.Interventions, pol.Guard.LastIntervention)
 
+	printAttribution(sys)
+
+	if rec != nil {
+		rec.Stop()
+		if err := writeTo(*tracePath, rec.WriteCSV); err != nil {
+			fatal(err)
+		}
+		if *tracePath != "-" {
+			fmt.Fprintf(os.Stderr, "trace (%d samples) written to %s\n", rec.Len(), *tracePath)
+		}
+	}
+	if err := sys.DumpTelemetry(*metricsOut, *eventsOut); err != nil {
+		fatal(err)
+	}
+
 	if *turnaround {
 		fmt.Println("\n-- E3: worst-case unsafe-register dwell per deployment level")
 		wc := pol.Guard.WorstCaseTurnaround(20*sim.Microsecond, 0.5)
@@ -98,6 +129,47 @@ func main() {
 				Note: "offset clamped to MSR_VOLTAGE_OFFSET_LIMIT in hardware"},
 		})
 	}
+}
+
+// printAttribution renders the Table-2-style overhead attribution: per core,
+// the kernel CPU time stolen by the guard split by primitive (kthread wake,
+// rdmsr, wrmsr). The split must sum exactly to the kernel's unattributed
+// stolen-time accounting — if it does not, the cost model leaks.
+func printAttribution(sys *plugvolt.System) {
+	kinds := []kernel.CostKind{kernel.CostWake, kernel.CostRdmsr, kernel.CostWrmsr}
+	fmt.Println("\n-- overhead attribution (virtual kernel CPU time per core)")
+	fmt.Printf("   %-6s %14s %14s %14s %14s\n", "core", "total", "wake", "rdmsr", "wrmsr")
+	for c := 0; c < sys.Platform.NumCores(); c++ {
+		total := sys.Kernel.StolenTime(c)
+		var parts [3]sim.Duration
+		var sum sim.Duration
+		for i, k := range kinds {
+			parts[i] = sys.Kernel.StolenTimeBy(k, c)
+			sum += parts[i]
+		}
+		fmt.Printf("   %-6d %14s %14s %14s %14s\n",
+			c, total.String(), parts[0].String(), parts[1].String(), parts[2].String())
+		if sum != total {
+			fatal(fmt.Errorf("core %d: attribution %v != stolen total %v", c, sum, total))
+		}
+	}
+	fmt.Println("   attribution check: per-kind costs sum to the kernel accounting total on every core")
+}
+
+// writeTo renders into the path, with "-" meaning stdout.
+func writeTo(path string, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

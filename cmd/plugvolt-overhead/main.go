@@ -26,10 +26,12 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
 		sweep    = flag.Bool("sweep", false, "sweep poll periods and report the overhead/protection trade-off")
 		perCore  = flag.Bool("percore", false, "deploy one guard kthread per core instead of a single poller")
+		metrics  = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the run ("-" = stdout)`)
+		events   = flag.String("events-out", "", `write the JSONL event journal here after the run ("-" = stdout)`)
 	)
 	flag.Parse()
 	if *sweep {
-		runSweep(*cpuName, *seed, *perCore)
+		runSweep(*cpuName, *seed, *perCore, *metrics, *events)
 		return
 	}
 
@@ -44,6 +46,7 @@ func main() {
 	}
 	gcfg := core.DefaultGuardConfig()
 	gcfg.PerCoreThreads = *perCore
+	gcfg.Telemetry = sys.Telemetry
 	guard, err := core.NewGuard(grid.UnsafeSet(), sys.Platform.Spec.BusMHz, gcfg)
 	if err != nil {
 		fatal(err)
@@ -72,12 +75,15 @@ func main() {
 	} else {
 		report.WriteTable2(os.Stdout, tab)
 	}
+	if err := sys.DumpTelemetry(*metrics, *events); err != nil {
+		fatal(err)
+	}
 }
 
 // runSweep measures the overhead/protection trade-off across poll periods:
 // the paper's Algorithm 3 leaves pacing unspecified, so this table is the
 // design-space view behind the default 100 us choice.
-func runSweep(cpuName string, seed int64, perCore bool) {
+func runSweep(cpuName string, seed int64, perCore bool, metricsOut, eventsOut string) {
 	sys, err := plugvolt.NewSystem(cpuName, seed)
 	if err != nil {
 		fatal(err)
@@ -100,15 +106,18 @@ func runSweep(cpuName string, seed int64, perCore bool) {
 	fmt.Printf("poll-period sweep on %s (per-core=%v); shallowest onset %d mV -> rail travel %v\n\n",
 		sys.Platform.Spec.Codename, perCore, shallowest, travel)
 	fmt.Printf("%-10s %14s %18s %16s\n", "period", "pinned cost", "worst turnaround", "rail-race margin")
+	var last *plugvolt.System
 	for _, period := range []sim.Duration{20 * sim.Microsecond, 50 * sim.Microsecond,
 		100 * sim.Microsecond, 250 * sim.Microsecond, 1 * sim.Millisecond, 10 * sim.Millisecond} {
 		s2, err := plugvolt.NewSystem(cpuName, seed)
 		if err != nil {
 			fatal(err)
 		}
+		last = s2
 		cfg := core.DefaultGuardConfig()
 		cfg.PollPeriod = period
 		cfg.PerCoreThreads = perCore
+		cfg.Telemetry = s2.Telemetry
 		g, err := core.NewGuard(unsafe, s2.Platform.Spec.BusMHz, cfg)
 		if err != nil {
 			fatal(err)
@@ -129,6 +138,13 @@ func runSweep(cpuName string, seed int64, perCore bool) {
 			status = "-" + (-margin).String() + " (RACE LOST)"
 		}
 		fmt.Printf("%-10v %13.3f%% %18v %16s\n", period, frac, ta, status)
+	}
+	// The sweep boots a fresh system per period; the exported metrics cover
+	// the last (10 ms) configuration.
+	if last != nil {
+		if err := last.DumpTelemetry(metricsOut, eventsOut); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -25,8 +25,53 @@ import (
 	"plugvolt/internal/msr"
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 	"plugvolt/internal/victim"
 )
+
+// campaignTel instruments one attack campaign against the env's optional
+// telemetry set. Every method is safe when the env carries no telemetry:
+// the counters come back nil and degrade to no-ops.
+type campaignTel struct {
+	set     *telemetry.Set
+	writes  *telemetry.Counter
+	blocked *telemetry.Counter
+	faults  *telemetry.Counter
+	crashes *telemetry.Counter
+}
+
+func newCampaignTel(env *defense.Env, attackName, defName string) *campaignTel {
+	reg := env.Telemetry.Registry()
+	lbl := telemetry.Labels{"attack": attackName, "defense": defName}
+	return &campaignTel{
+		set:     env.Telemetry,
+		writes:  reg.Counter("attack_mailbox_writes_total", "OC mailbox writes issued by the campaign", lbl),
+		blocked: reg.Counter("attack_blocked_writes_total", "mailbox writes rejected by the active defense", lbl),
+		faults:  reg.Counter("attack_faults_total", "corrupted victim results observed by the campaign", lbl),
+		crashes: reg.Counter("attack_crashes_total", "machine crashes caused by the campaign", lbl),
+	}
+}
+
+// fault records n observed faults and journals the observation site.
+func (t *campaignTel) fault(r *Result, n, offsetMV int) {
+	if n <= 0 {
+		return
+	}
+	t.faults.Add(float64(n))
+	t.set.Events().Emit("attack_fault", map[string]any{
+		"attack": r.Attack, "defense": r.Defense, "faults": n,
+		"offset_mv": offsetMV, "attempts": r.Attempts,
+	})
+}
+
+// crash records a campaign-induced machine crash.
+func (t *campaignTel) crash(r *Result, offsetMV int) {
+	t.crashes.Inc()
+	t.set.Events().Emit("attack_crash", map[string]any{
+		"attack": r.Attack, "defense": r.Defense,
+		"offset_mv": offsetMV, "attempts": r.Attempts,
+	})
+}
 
 // Result records one attack campaign.
 type Result struct {
@@ -85,10 +130,12 @@ func pinFrequency(env *defense.Env, coreIdx, khz int) error {
 }
 
 // writeOffset issues the Algorithm 1 mailbox write, tracking block/accept.
-func writeOffset(env *defense.Env, r *Result, coreIdx, offsetMV int) bool {
+func writeOffset(env *defense.Env, r *Result, t *campaignTel, coreIdx, offsetMV int) bool {
 	r.MailboxWrites++
+	t.writes.Inc()
 	if err := env.Platform.WriteOffsetViaMSR(coreIdx, offsetMV, msr.PlaneCore); err != nil {
 		r.BlockedWrites++
+		t.blocked.Inc()
 		return false
 	}
 	return true
@@ -145,6 +192,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
+	tel := newCampaignTel(env, r.Attack, defName)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -170,7 +218,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 	digest := key.HashToInt([]byte("plundervolt target message"))
 
 	for off := a.StartMV; off >= a.FloorMV; off += a.StepMV {
-		if !writeOffset(env, r, a.VictimCore, off) {
+		if !writeOffset(env, r, tel, a.VictimCore, off) {
 			continue // blocked (access control); deeper writes block too
 		}
 		// Let the regulator move (and defenses react).
@@ -183,6 +231,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 			if err != nil {
 				if errors.Is(err, cpu.ErrCrashed) {
 					r.Crashes++
+					tel.crash(r, off)
 					p.Reboot()
 					r.Notes = "crashed before exploitable fault"
 					return r, nil
@@ -193,6 +242,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 				continue
 			}
 			r.FaultsObserved++
+			tel.fault(r, 1, off)
 			// Faults started: this is the exploitable band. Linger here.
 			if budget < a.LingerSigns {
 				budget = a.LingerSigns
@@ -249,6 +299,7 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
+	tel := newCampaignTel(env, r.Attack, defName)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -271,13 +322,13 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 		// Attacker calibration: deep enough to fault at `target`, shallow
 		// enough to hold at `prep`. Search on the attacker's own replica
 		// is emulated by probing live with small strikes.
-		offset = a.calibrate(env, r, prep, target)
+		offset = a.calibrate(env, r, tel, prep, target)
 		if offset == 0 {
 			r.Notes = "calibration found no workable offset"
 			return r, nil
 		}
 	}
-	if !writeOffset(env, r, a.VictimCore, offset) {
+	if !writeOffset(env, r, tel, a.VictimCore, offset) {
 		r.Notes = "mailbox write blocked during preparation"
 		return r, nil
 	}
@@ -297,6 +348,7 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 		if err != nil {
 			if errors.Is(err, cpu.ErrCrashed) {
 				r.Crashes++
+				tel.crash(r, offset)
 				p.Reboot()
 				r.Notes = "crashed at strike frequency"
 				return r, nil
@@ -304,10 +356,11 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 			return nil, err
 		}
 		r.FaultsObserved += res.Faults
+		tel.fault(r, res.Faults, offset)
 		p.Sim.RunFor(a.Dwell)
 		// Re-arm: defenses may have reset the offset mid-strike.
 		if p.Core(a.VictimCore).OffsetMV() != offset {
-			if !writeOffset(env, r, a.VictimCore, offset) {
+			if !writeOffset(env, r, tel, a.VictimCore, offset) {
 				break
 			}
 		}
@@ -323,14 +376,14 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 
 // calibrate finds a held offset: safe (no faults, no crash) at prep, yet
 // faulting at target. Returns 0 if none found.
-func (a *VoltJockey) calibrate(env *defense.Env, r *Result, prepKHz, targetKHz int) int {
+func (a *VoltJockey) calibrate(env *defense.Env, r *Result, tel *campaignTel, prepKHz, targetKHz int) int {
 	p := env.Platform
 	for off := -40; off >= -340; off -= 10 {
 		// Probe at the target frequency with a short strike.
 		if err := pinFrequency(env, a.VictimCore, targetKHz); err != nil {
 			return 0
 		}
-		if !writeOffset(env, r, a.VictimCore, off) {
+		if !writeOffset(env, r, tel, a.VictimCore, off) {
 			return 0
 		}
 		p.Sim.RunFor(800 * sim.Microsecond)
@@ -342,10 +395,11 @@ func (a *VoltJockey) calibrate(env *defense.Env, r *Result, prepKHz, targetKHz i
 		crashed := errors.Is(err, cpu.ErrCrashed)
 		if crashed {
 			r.Crashes++
+			tel.crash(r, off)
 			p.Reboot()
 		}
 		// Restore safe state between probes.
-		writeOffset(env, r, a.VictimCore, 0)
+		writeOffset(env, r, tel, a.VictimCore, 0)
 		if err := pinFrequency(env, a.VictimCore, prepKHz); err != nil {
 			return 0
 		}
@@ -357,7 +411,7 @@ func (a *VoltJockey) calibrate(env *defense.Env, r *Result, prepKHz, targetKHz i
 			continue // not deep enough
 		}
 		// Verify it holds quietly at prep frequency.
-		if !writeOffset(env, r, a.VictimCore, off) {
+		if !writeOffset(env, r, tel, a.VictimCore, off) {
 			return 0
 		}
 		p.Sim.RunFor(800 * sim.Microsecond)
@@ -371,9 +425,10 @@ func (a *VoltJockey) calibrate(env *defense.Env, r *Result, prepKHz, targetKHz i
 		}
 		if errors.Is(err, cpu.ErrCrashed) {
 			r.Crashes++
+			tel.crash(r, off)
 			p.Reboot()
 		}
-		writeOffset(env, r, a.VictimCore, 0)
+		writeOffset(env, r, tel, a.VictimCore, 0)
 		p.Sim.RunFor(800 * sim.Microsecond)
 	}
 	return 0
@@ -419,6 +474,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
+	tel := newCampaignTel(env, r.Attack, defName)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -431,7 +487,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	c := p.Core(a.VictimCore)
 	for off := a.StartMV; off >= a.FloorMV; off += a.StepMV {
-		if !writeOffset(env, r, a.VictimCore, off) {
+		if !writeOffset(env, r, tel, a.VictimCore, off) {
 			continue
 		}
 		p.Sim.RunFor(600 * sim.Microsecond)
@@ -440,6 +496,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 		if err != nil {
 			if errors.Is(err, cpu.ErrCrashed) {
 				r.Crashes++
+				tel.crash(r, off)
 				p.Reboot()
 				r.Notes = "crashed before reaching target fault count"
 				return r, nil
@@ -447,6 +504,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 			return nil, err
 		}
 		r.FaultsObserved += res.Faults
+		tel.fault(r, res.Faults, off)
 		p.Sim.RunFor(a.Dwell)
 		if r.FaultsObserved >= a.TargetFaults {
 			r.Succeeded = true

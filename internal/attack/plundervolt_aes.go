@@ -56,6 +56,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
+	tel := newCampaignTel(env, r.Attack, defName)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -79,7 +80,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 	// Phase 1: deepen the offset until encryptions start faulting.
 	workingOffset := 0
 	for off := a.StartMV; off >= a.FloorMV && workingOffset == 0; off += a.StepMV {
-		if !writeOffset(env, r, a.VictimCore, off) {
+		if !writeOffset(env, r, tel, a.VictimCore, off) {
 			continue
 		}
 		p.Sim.RunFor(600 * sim.Microsecond)
@@ -90,6 +91,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 			if err != nil {
 				if errors.Is(err, cpu.ErrCrashed) {
 					r.Crashes++
+					tel.crash(r, off)
 					p.Reboot()
 					r.Notes = "crashed before harvesting enough pairs"
 					return r, nil
@@ -101,6 +103,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 				r.FaultsObserved++
 			}
 		}
+		tel.fault(r, faulted, off)
 		p.Sim.RunFor(a.DwellPerBatch)
 		// Want a workable rate: ~1e-3 faulted blocks makes round-9 pairs
 		// land about once per 10k encryptions while the control path still
@@ -120,6 +123,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 	if err != nil {
 		if errors.Is(err, cpu.ErrCrashed) {
 			r.Crashes++
+			tel.crash(r, workingOffset)
 			p.Reboot()
 			r.Notes = "crashed during pair harvest"
 			return r, nil
@@ -128,6 +132,7 @@ func (a *PlundervoltAES) Run(env *defense.Env, defName string) (*Result, error) 
 		return r, nil
 	}
 	r.FaultsObserved += len(pairs)
+	tel.fault(r, len(pairs), workingOffset)
 	recovered, err := victim.DFARecoverMasterKey(pairs, pt, 0)
 	if err != nil {
 		r.Notes = fmt.Sprintf("DFA failed: %v", err)

@@ -8,6 +8,7 @@ import (
 	"plugvolt/internal/msr"
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // CharacterizerConfig parameterizes the Algorithm 2 sweep.
@@ -40,6 +41,13 @@ type CharacterizerConfig struct {
 	// row that just completed and rowsDone counts completions so far.
 	// Invocations are serialized; the callback never runs concurrently.
 	Progress func(freqKHz, rowsDone, rowsTotal int)
+	// Telemetry, when set, receives row/cell/reboot counters, per-worker
+	// utilization series, and a journal event per completed row from the
+	// sharded engine. All updates happen in the merge loop, so telemetry
+	// cannot perturb the grid or its worker-count invariance. Per-worker
+	// series reflect the Go scheduler's row assignment and therefore vary
+	// run to run; everything else is deterministic.
+	Telemetry *telemetry.Set
 }
 
 // DefaultCharacterizerConfig matches the paper's sweep.

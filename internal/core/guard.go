@@ -7,6 +7,7 @@ import (
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // ModuleName is the polling countermeasure's kernel-module name; SGX
@@ -59,6 +60,13 @@ type GuardConfig struct {
 	// anomaly (filters the recovery transient after a register
 	// intervention); default 3.
 	CrossCheckPersist int
+
+	// Telemetry, when set, receives per-core poll/intervention/anomaly
+	// counters, the poll-latency histogram, and journal events for every
+	// intervention and anomaly. Nil disables instrumentation; the guard's
+	// behaviour is identical either way (observing never charges time or
+	// draws randomness).
+	Telemetry *telemetry.Set
 }
 
 // DefaultGuardConfig polls every 100 us and restores stock voltage.
@@ -99,6 +107,20 @@ type Guard struct {
 	LastAnomaly       sim.Time
 	// deficitRuns tracks consecutive deficit polls per core.
 	deficitRuns map[int]int
+
+	// Per-core instruments, indexed by core; nil slices when telemetry is
+	// disabled (every method on them is then a no-op).
+	pollsC         []*telemetry.Counter
+	interventionsC []*telemetry.Counter
+	anomaliesC     []*telemetry.Counter
+	pollLatency    *telemetry.Histogram
+}
+
+// pollLatencyBuckets bound the per-core poll cost histogram in seconds. A
+// local poll is two rdmsr (~100 ns); a remote poll adds the wrmsr of an
+// intervention; the tail buckets catch pathological cost models.
+var pollLatencyBuckets = []float64{
+	50e-9, 100e-9, 150e-9, 200e-9, 300e-9, 500e-9, 1e-6, 2e-6, 5e-6, 10e-6,
 }
 
 // NewGuard builds a guard for a characterized machine. busMHz converts the
@@ -144,6 +166,7 @@ func (g *Guard) Module() *kernel.Module {
 		Name: ModuleName,
 		Init: func(k *kernel.Kernel) error {
 			g.k = k
+			g.instrument(k.Machine().NumCores())
 			if g.cfg.PerCoreThreads {
 				for core := 0; core < k.Machine().NumCores(); core++ {
 					core := core
@@ -184,8 +207,45 @@ func (g *Guard) Module() *kernel.Module {
 			}
 			g.threads = nil
 			k.UnregisterProc(ModuleName)
+			g.cfg.Telemetry.Events().Emit("guard_unloaded", map[string]any{
+				"module": ModuleName, "checks": g.Checks, "interventions": g.Interventions,
+			})
 		},
 	}
+}
+
+// instrument builds the per-core counters and the poll-latency histogram.
+// With no telemetry set everything stays nil, and the nil-safe instrument
+// methods make every observation a no-op.
+func (g *Guard) instrument(numCores int) {
+	tel := g.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	g.pollsC = make([]*telemetry.Counter, numCores)
+	g.interventionsC = make([]*telemetry.Counter, numCores)
+	g.anomaliesC = make([]*telemetry.Counter, numCores)
+	for core := 0; core < numCores; core++ {
+		lbl := telemetry.Labels{"core": fmt.Sprintf("%d", core)}
+		g.pollsC[core] = reg.Counter("guard_polls_total",
+			"per-core (freq, offset) state inspections by the polling kthread", lbl)
+		g.interventionsC[core] = reg.Counter("guard_interventions_total",
+			"forced returns to the safe state via MSR 0x150", lbl)
+		g.anomaliesC[core] = reg.Counter("guard_hw_anomalies_total",
+			"persistent out-of-band rail deficits flagged by the voltage cross-check", lbl)
+	}
+	g.pollLatency = reg.Histogram("guard_poll_latency_seconds",
+		"CPU cost of one per-core poll (MSR reads plus any intervention write)",
+		pollLatencyBuckets, nil)
+	mode := "single-thread"
+	if g.cfg.PerCoreThreads {
+		mode = "per-core"
+	}
+	tel.Events().Emit("guard_loaded", map[string]any{
+		"module": ModuleName, "mode": mode,
+		"poll_period_ps": int64(g.cfg.PollPeriod), "margin_mv": g.cfg.MarginMV,
+	})
 }
 
 // Status renders the module's live counters — the /proc/plug_your_volt
@@ -215,6 +275,17 @@ func (g *Guard) poll(t *kernel.KThread) {
 // pollOne inspects a single core's state pair and intervenes if unsafe.
 func (g *Guard) pollOne(t *kernel.KThread, core int) {
 	g.Checks++
+	busyBefore := t.Busy
+	defer func() {
+		// The poll's cost is the CPU time it charged through the kthread —
+		// virtual accounting, so observing it cannot perturb the run.
+		if g.pollLatency != nil {
+			g.pollLatency.Observe(telemetry.Seconds(t.Busy - busyBefore))
+		}
+	}()
+	if g.pollsC != nil {
+		g.pollsC[core].Inc()
+	}
 	status, err := t.ReadMSR(core, msr.IA32PerfStatus)
 	if err != nil {
 		return // core offline (crashed); nothing to protect
@@ -240,6 +311,13 @@ func (g *Guard) pollOne(t *kernel.KThread, core int) {
 		if err := t.WriteMSR(core, msr.OCMailbox, safe); err == nil {
 			g.Interventions++
 			g.LastIntervention = g.k.Sim().Now()
+			if g.interventionsC != nil {
+				g.interventionsC[core].Inc()
+			}
+			g.cfg.Telemetry.Events().Emit("guard_intervention", map[string]any{
+				"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
+				"safe_mv": g.cfg.SafeOffsetMV,
+			})
 		}
 	}
 }
@@ -254,6 +332,13 @@ func (g *Guard) crossCheck(core int, ratio uint8, offsetMV int, liveV float64) {
 		if g.deficitRuns[core] == g.cfg.CrossCheckPersist {
 			g.HardwareAnomalies++
 			g.LastAnomaly = g.k.Sim().Now()
+			if g.anomaliesC != nil {
+				g.anomaliesC[core].Inc()
+			}
+			g.cfg.Telemetry.Events().Emit("guard_hw_anomaly", map[string]any{
+				"core": core, "deficit_mv": deficit, "ratio": int(ratio),
+				"offset_mv": offsetMV,
+			})
 		}
 		return
 	}

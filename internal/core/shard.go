@@ -9,6 +9,8 @@ import (
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // RowSeed derives the private RNG seed for one frequency row of a sharded
@@ -74,6 +76,11 @@ type rowResult struct {
 	row     []Classification
 	reboots int
 	err     error
+	// worker identifies the goroutine that swept the row; virtual is the
+	// row platform's elapsed virtual time. Both feed telemetry only — the
+	// merged grid never depends on them.
+	worker  int
+	virtual sim.Duration
 }
 
 // Run executes the sharded sweep and returns the merged grid. The result is
@@ -95,15 +102,17 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 	jobs := make(chan int)
 	results := make(chan rowResult)
 	var wg sync.WaitGroup
-	for w := 0; w < sc.workers(len(freqs)); w++ {
+	workers := sc.workers(len(freqs))
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for fi := range jobs {
-				row, reboots, err := sc.sweepRow(freqs[fi], offs)
-				results <- rowResult{fi: fi, row: row, reboots: reboots, err: err}
+				row, reboots, virtual, err := sc.sweepRow(freqs[fi], offs)
+				results <- rowResult{fi: fi, row: row, reboots: reboots,
+					err: err, worker: w, virtual: virtual}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		for fi := range freqs {
@@ -117,8 +126,10 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 	}()
 
 	// The merge loop is the only consumer of results, so progress callbacks
-	// are serialized here: rows may finish out of order, but callbacks never
-	// run concurrently and rowsDone counts completions monotonically.
+	// and telemetry updates are serialized here: rows may finish out of
+	// order, but callbacks never run concurrently and rowsDone counts
+	// completions monotonically.
+	obs := newSweepObserver(sc.cfg.Telemetry, workers)
 	var firstErr error
 	done := 0
 	for r := range results {
@@ -130,14 +141,105 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 		}
 		mergeRow(g, r)
 		done++
+		obs.row(freqs[r.fi], r)
 		if sc.cfg.Progress != nil {
 			sc.cfg.Progress(freqs[r.fi], done, len(freqs))
 		}
 	}
+	obs.finish()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return g, nil
+}
+
+// sweepObserver publishes sharded-sweep telemetry from the merge loop. A
+// nil telemetry set yields an observer whose instruments are all nil-safe
+// no-ops.
+type sweepObserver struct {
+	tel     *telemetry.Set
+	rowsC   *telemetry.Counter
+	rebootC *telemetry.Counter
+	cellsC  [3]*telemetry.Counter // indexed by Classification
+	wRows   []*telemetry.Counter
+	wVirt   []*telemetry.Counter
+	util    []*telemetry.Gauge
+	rate    *telemetry.Gauge
+
+	rows         int
+	totalVirtual sim.Duration
+	workerVirt   []sim.Duration
+}
+
+func newSweepObserver(tel *telemetry.Set, workers int) *sweepObserver {
+	o := &sweepObserver{tel: tel, workerVirt: make([]sim.Duration, workers)}
+	if tel == nil {
+		return o
+	}
+	reg := tel.Registry()
+	o.rowsC = reg.Counter("characterize_rows_total", "completed frequency rows", nil)
+	o.rebootC = reg.Counter("characterize_reboots_total", "crash recoveries during the sweep", nil)
+	for _, cls := range []Classification{Safe, Fault, Crash} {
+		o.cellsC[cls] = reg.Counter("characterize_cells_total",
+			"classified (frequency, offset) grid points",
+			telemetry.Labels{"class": cls.String()})
+	}
+	o.wRows = make([]*telemetry.Counter, workers)
+	o.wVirt = make([]*telemetry.Counter, workers)
+	o.util = make([]*telemetry.Gauge, workers)
+	for w := 0; w < workers; w++ {
+		lbl := telemetry.Labels{"worker": fmt.Sprintf("%d", w)}
+		o.wRows[w] = reg.Counter("characterize_worker_rows_total",
+			"rows swept per worker (scheduler-dependent; varies run to run)", lbl)
+		o.wVirt[w] = reg.Counter("characterize_worker_virtual_seconds_total",
+			"virtual time swept per worker (scheduler-dependent)", lbl)
+		o.util[w] = reg.Gauge("characterize_worker_utilization",
+			"worker's share of total swept virtual time (scheduler-dependent)", lbl)
+	}
+	o.rate = reg.Gauge("characterize_rows_per_virtual_second",
+		"sweep throughput: rows per virtual second of row-platform time", nil)
+	return o
+}
+
+// row records one merged frequency row.
+func (o *sweepObserver) row(freqKHz int, r rowResult) {
+	o.rows++
+	o.totalVirtual += r.virtual
+	if r.worker < len(o.workerVirt) {
+		o.workerVirt[r.worker] += r.virtual
+	}
+	if o.tel == nil {
+		return
+	}
+	var perClass [3]int
+	for _, c := range r.row {
+		if int(c) < len(perClass) {
+			perClass[c]++
+		}
+	}
+	o.rowsC.Inc()
+	o.rebootC.Add(float64(r.reboots))
+	for cls, n := range perClass {
+		o.cellsC[cls].Add(float64(n))
+	}
+	o.wRows[r.worker].Inc()
+	o.wVirt[r.worker].Add(telemetry.Seconds(r.virtual))
+	o.tel.Events().Emit("characterize_row", map[string]any{
+		"freq_khz": freqKHz, "worker": r.worker, "cells": len(r.row),
+		"safe": perClass[Safe], "fault": perClass[Fault], "crash": perClass[Crash],
+		"reboots": r.reboots, "virtual_ps": int64(r.virtual),
+	})
+}
+
+// finish publishes the end-of-sweep aggregates.
+func (o *sweepObserver) finish() {
+	if o.tel == nil || o.totalVirtual == 0 {
+		return
+	}
+	o.rate.Set(float64(o.rows) / telemetry.Seconds(o.totalVirtual))
+	for w, v := range o.workerVirt {
+		o.util[w].Set(float64(v) / float64(o.totalVirtual))
+	}
 }
 
 // mergeRow lands one finished row in the grid. Placement is by frequency
@@ -152,32 +254,32 @@ func mergeRow(g *Grid, r rowResult) {
 // the machine from the row seed, record the stock operating point, run the
 // serial engine's row sweep, and restore — exactly the per-row protocol of
 // Characterizer.Run, minus the cross-row state.
-func (sc *ShardedCharacterizer) sweepRow(freqKHz int, offs []int) ([]Classification, int, error) {
+func (sc *ShardedCharacterizer) sweepRow(freqKHz int, offs []int) ([]Classification, int, sim.Duration, error) {
 	p, err := sc.Factory(RowSeed(sc.seed, freqKHz))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	ch, err := NewCharacterizer(p, sc.cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// Algorithm 2 lines 6-7: record the normal operating point.
 	origStatus, err := p.MSRFile(sc.cfg.VictimCore).Read(msr.IA32PerfStatus)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	origRatio, _ := msr.DecodePerfStatus(origStatus)
 	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
 
 	row, err := ch.sweepRow(freqKHz, offs)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// Lines 13-14: restore the stock frequency and zero offset. The platform
 	// is discarded afterwards, but the restore keeps the row's RNG draw
 	// sequence identical to the serial engine's per-row protocol.
 	if err := ch.restore(origFreqKHz); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return row, p.Reboots, nil
+	return row, p.Reboots, sim.Duration(p.Sim.Now()), nil
 }

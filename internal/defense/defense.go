@@ -24,6 +24,7 @@ import (
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sgx"
+	"plugvolt/internal/telemetry"
 )
 
 // Env is the machine a countermeasure deploys onto.
@@ -31,6 +32,10 @@ type Env struct {
 	Platform *cpu.Platform
 	Kernel   *kernel.Kernel
 	Registry *sgx.Registry
+	// Telemetry, when set, receives attack/defense instrumentation (mailbox
+	// write counters, fault events). Optional: a nil set disables it and
+	// every instrument degrades to a no-op.
+	Telemetry *telemetry.Set
 }
 
 // Validate checks the env is complete.

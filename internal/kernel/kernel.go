@@ -16,9 +16,12 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // Machine is the hardware interface the kernel drives. *cpu.Platform plus a
@@ -65,6 +68,34 @@ type Module struct {
 	Exit func(k *Kernel)
 }
 
+// CostKind attributes one charged slice of kernel CPU time to the primitive
+// that consumed it — the decomposition behind the telemetry exposition's
+// overhead attribution (poll wakeups vs. local/remote MSR traffic).
+type CostKind int
+
+// Attribution categories. Per core and per thread, the three categories sum
+// exactly to the stolen-time total Table 2 converts into slowdown.
+const (
+	CostWake CostKind = iota
+	CostRdmsr
+	CostWrmsr
+	numCostKinds
+)
+
+// String names the category for metric labels.
+func (k CostKind) String() string {
+	switch k {
+	case CostWake:
+		return "wake"
+	case CostRdmsr:
+		return "rdmsr"
+	case CostWrmsr:
+		return "wrmsr"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
 // Kernel is the simulated kernel instance.
 type Kernel struct {
 	simr  *sim.Simulator
@@ -74,26 +105,41 @@ type Kernel struct {
 	modules map[string]*Module
 	threads []*KThread
 
-	// stolen accumulates CPU time consumed by kernel threads per core.
-	stolen []sim.Duration
+	// stolen accumulates CPU time consumed by kernel threads per core;
+	// stolenBy splits the same total by cost category (wake/rdmsr/wrmsr),
+	// so attribution always sums to the accounting total.
+	stolen   []sim.Duration
+	stolenBy [numCostKinds][]sim.Duration
 	// MSRReads/MSRWrites count privileged MSR operations.
 	MSRReads  uint64
 	MSRWrites uint64
 
 	// procs holds /proc-style status entries registered by modules.
 	procs map[string]func() string
+
+	// tel, when set, receives kthread wake events in the journal; metric
+	// gauges are published on demand via Collect.
+	tel *telemetry.Set
 }
 
 // New builds a kernel over the machine.
 func New(s *sim.Simulator, hw Machine) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		simr:    s,
 		hw:      hw,
 		Costs:   DefaultCosts(),
 		modules: map[string]*Module{},
 		stolen:  make([]sim.Duration, hw.NumCores()),
 	}
+	for i := range k.stolenBy {
+		k.stolenBy[i] = make([]sim.Duration, hw.NumCores())
+	}
+	return k
 }
+
+// SetTelemetry attaches a telemetry set. Call before starting kthreads so
+// every wake is journaled; nil detaches.
+func (k *Kernel) SetTelemetry(t *telemetry.Set) { k.tel = t }
 
 // Sim exposes the kernel's time base.
 func (k *Kernel) Sim() *sim.Simulator { return k.simr }
@@ -158,6 +204,8 @@ type KThread struct {
 	Ticks uint64
 	// Busy is the total CPU time this thread has charged.
 	Busy sim.Duration
+	// BusyBy splits Busy by cost category; the entries always sum to Busy.
+	BusyBy [numCostKinds]sim.Duration
 }
 
 // StartKThread launches a periodic kernel thread pinned to core. Each tick
@@ -173,7 +221,12 @@ func (k *Kernel) StartKThread(name string, core int, period sim.Duration, fn fun
 	t := &KThread{Name: name, Core: core, k: k}
 	t.ticker = k.simr.Every(period, func() {
 		t.Ticks++
-		t.charge(k.Costs.KthreadWake)
+		t.charge(CostWake, k.Costs.KthreadWake)
+		if k.tel != nil {
+			k.tel.Events().Emit("kthread_wake", map[string]any{
+				"thread": t.Name, "core": t.Core, "tick": t.Ticks,
+			})
+		}
 		fn(t)
 	})
 	k.threads = append(k.threads, t)
@@ -183,31 +236,44 @@ func (k *Kernel) StartKThread(name string, core int, period sim.Duration, fn fun
 // Stop halts the thread.
 func (t *KThread) Stop() { t.ticker.Stop() }
 
-// charge books d of CPU time to the thread's core.
-func (t *KThread) charge(d sim.Duration) {
+// charge books d of CPU time of the given category to the thread's core.
+func (t *KThread) charge(kind CostKind, d sim.Duration) {
 	t.Busy += d
+	t.BusyBy[kind] += d
 	t.k.stolen[t.Core] += d
+	t.k.stolenBy[kind][t.Core] += d
 }
 
 // ReadMSR performs a privileged rdmsr on the target core, charging the
 // ioctl cost to the calling thread.
 func (t *KThread) ReadMSR(core int, addr msr.Addr) (uint64, error) {
-	t.charge(t.k.Costs.Rdmsr)
+	t.charge(CostRdmsr, t.k.Costs.Rdmsr)
 	t.k.MSRReads++
 	return t.k.hw.MSRFile(core).Read(addr)
 }
 
 // WriteMSR performs a privileged wrmsr on the target core.
 func (t *KThread) WriteMSR(core int, addr msr.Addr, val uint64) error {
-	t.charge(t.k.Costs.Wrmsr)
+	t.charge(CostWrmsr, t.k.Costs.Wrmsr)
 	t.k.MSRWrites++
 	return t.k.hw.MSRFile(core).Write(addr, val)
+}
+
+// Module derives the owning module name from the thread name: per-core
+// deployments name threads "<module>/<core>", so everything before the
+// slash aggregates a module's fleet.
+func (t *KThread) Module() string {
+	if i := strings.IndexByte(t.Name, '/'); i >= 0 {
+		return t.Name[:i]
+	}
+	return t.Name
 }
 
 // ReadMSRDirect is the kernel's non-thread MSR read path (module init,
 // syscalls); the cost is charged to the given core.
 func (k *Kernel) ReadMSRDirect(core int, addr msr.Addr) (uint64, error) {
 	k.stolen[core] += k.Costs.Rdmsr
+	k.stolenBy[CostRdmsr][core] += k.Costs.Rdmsr
 	k.MSRReads++
 	return k.hw.MSRFile(core).Read(addr)
 }
@@ -215,6 +281,7 @@ func (k *Kernel) ReadMSRDirect(core int, addr msr.Addr) (uint64, error) {
 // WriteMSRDirect is the kernel's non-thread MSR write path.
 func (k *Kernel) WriteMSRDirect(core int, addr msr.Addr, val uint64) error {
 	k.stolen[core] += k.Costs.Wrmsr
+	k.stolenBy[CostWrmsr][core] += k.Costs.Wrmsr
 	k.MSRWrites++
 	return k.hw.MSRFile(core).Write(addr, val)
 }
@@ -228,11 +295,73 @@ func (k *Kernel) StolenTime(core int) sim.Duration {
 	return k.stolen[core]
 }
 
+// StolenTimeBy reports the slice of core's stolen time attributable to one
+// cost category. Summed over categories it equals StolenTime exactly.
+func (k *Kernel) StolenTimeBy(kind CostKind, core int) sim.Duration {
+	if kind < 0 || kind >= numCostKinds || core < 0 || core >= len(k.stolen) {
+		return 0
+	}
+	return k.stolenBy[kind][core]
+}
+
 // ResetStolenTime zeroes the accounting (between benchmark runs).
 func (k *Kernel) ResetStolenTime() {
 	for i := range k.stolen {
 		k.stolen[i] = 0
 	}
+	for kind := range k.stolenBy {
+		for i := range k.stolenBy[kind] {
+			k.stolenBy[kind][i] = 0
+		}
+	}
+}
+
+// Collect publishes the kernel's accounting into the registry as gauges:
+// per-core stolen time split by cost category, per-thread busy time and
+// tick counts (labeled by owning module), and the global MSR operation
+// counts. Call it just before taking a snapshot; values are cumulative
+// since boot (or the last ResetStolenTime), so Table-2-style attribution
+// falls out of snapshot diffing.
+func (k *Kernel) Collect(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for core := 0; core < k.hw.NumCores(); core++ {
+		c := fmt.Sprintf("%d", core)
+		reg.Gauge("kernel_stolen_seconds", "CPU time consumed by kernel threads per core",
+			telemetry.Labels{"core": c}).Set(telemetry.Seconds(k.stolen[core]))
+		for kind := CostKind(0); kind < numCostKinds; kind++ {
+			reg.Gauge("kernel_stolen_attributed_seconds",
+				"per-core stolen time attributed to one kernel primitive; kinds sum to kernel_stolen_seconds",
+				telemetry.Labels{"core": c, "kind": kind.String()}).
+				Set(telemetry.Seconds(k.stolenBy[kind][core]))
+		}
+	}
+	// Threads sorted by (name, core) so repeated Collect calls create
+	// series in a stable order.
+	threads := append([]*KThread(nil), k.threads...)
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].Name != threads[j].Name {
+			return threads[i].Name < threads[j].Name
+		}
+		return threads[i].Core < threads[j].Core
+	})
+	for _, t := range threads {
+		lbl := telemetry.Labels{"thread": t.Name, "core": fmt.Sprintf("%d", t.Core), "module": t.Module()}
+		reg.Gauge("kernel_kthread_busy_seconds", "CPU time charged by one kernel thread", lbl).
+			Set(telemetry.Seconds(t.Busy))
+		reg.Gauge("kernel_kthread_ticks", "completed kthread activations", lbl).
+			Set(float64(t.Ticks))
+		for kind := CostKind(0); kind < numCostKinds; kind++ {
+			l := telemetry.Labels{"thread": t.Name, "core": fmt.Sprintf("%d", t.Core),
+				"module": t.Module(), "kind": kind.String()}
+			reg.Gauge("kernel_kthread_attributed_seconds",
+				"per-thread busy time attributed to one kernel primitive; kinds sum to kernel_kthread_busy_seconds", l).
+				Set(telemetry.Seconds(t.BusyBy[kind]))
+		}
+	}
+	reg.Gauge("kernel_msr_reads", "privileged rdmsr operations", nil).Set(float64(k.MSRReads))
+	reg.Gauge("kernel_msr_writes", "privileged wrmsr operations", nil).Set(float64(k.MSRWrites))
 }
 
 // RegisterProc exposes a read-only status file (like /proc/<name>). The

@@ -239,6 +239,22 @@ type Descriptor struct {
 	// hooks run in installation order on every write, before Apply.
 	hooks  []hookEntry
 	nextID int
+
+	// HookStats accounts write-hook activity on this register, the raw
+	// material for the telemetry exposition's per-core hook-hit series.
+	HookStats HookStats
+}
+
+// HookStats counts write-hook activity on one register.
+type HookStats struct {
+	// Hits counts individual hook invocations (one write through N hooks
+	// counts N).
+	Hits uint64
+	// Rejects counts writes a hook refused (#GP to the writer).
+	Rejects uint64
+	// Rewrites counts hook invocations that transformed the proposed value
+	// (clamp or write-ignore behaviour).
+	Rewrites uint64
 }
 
 type hookEntry struct {
@@ -328,6 +344,15 @@ func (f *File) RemoveWriteHooks(addr Addr) {
 	}
 }
 
+// WriteHookStats reports write-hook activity on addr (zero for undeclared
+// registers or registers without hooks).
+func (f *File) WriteHookStats(addr Addr) HookStats {
+	if d := f.descs[addr]; d != nil {
+		return d.HookStats
+	}
+	return HookStats{}
+}
+
 // Read implements rdmsr.
 func (f *File) Read(addr Addr) (uint64, error) {
 	d := f.descs[addr]
@@ -356,9 +381,14 @@ func (f *File) Write(addr Addr, val uint64) error {
 	old := f.values[addr]
 	v := val
 	for _, e := range d.hooks {
+		d.HookStats.Hits++
 		nv, err := e.fn(f, old, v)
 		if err != nil {
+			d.HookStats.Rejects++
 			return err
+		}
+		if nv != v {
+			d.HookStats.Rewrites++
 		}
 		v = nv
 	}

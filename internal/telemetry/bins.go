@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// FloorBin maps v to the lower bound of its width-wide bin using floor
+// division, so negative values land in the bin *below* zero: -5 mV with a
+// 10 mV width bins to -10, not 0. Plain integer division truncates toward
+// zero and silently merged every sub-zero value into the 0 bin — the
+// mis-binning bug this replaces (any sub-zero effective offset, exactly the
+// sign every undervolt measurement lives in).
+func FloorBin(v float64, width int) int {
+	return int(math.Floor(v/float64(width))) * width
+}
+
+// Bins is a dynamic floor-binned integer histogram: values bucket into
+// width-wide bins keyed by their lower bound, with bins materialized on
+// first observation. It complements the Registry's fixed-bucket Histogram
+// for distributions whose range is not known up front (rail-voltage
+// timelines, effective offsets).
+type Bins struct {
+	// Width is the bin width (> 0).
+	Width  int
+	counts map[int]int
+	n      int
+}
+
+// NewBins builds an empty floor-binned histogram.
+func NewBins(width int) (*Bins, error) {
+	if width <= 0 {
+		return nil, errors.New("telemetry: bin width must be positive")
+	}
+	return &Bins{Width: width, counts: map[int]int{}}, nil
+}
+
+// Observe records one value.
+func (b *Bins) Observe(v float64) {
+	b.counts[FloorBin(v, b.Width)]++
+	b.n++
+}
+
+// Count reports total observations.
+func (b *Bins) Count() int { return b.n }
+
+// Snapshot returns the sorted bin lower bounds and the bin -> count map.
+func (b *Bins) Snapshot() ([]int, map[int]int) {
+	bins := make([]int, 0, len(b.counts))
+	counts := make(map[int]int, len(b.counts))
+	for lo, c := range b.counts {
+		bins = append(bins, lo)
+		counts[lo] = c
+	}
+	sort.Ints(bins)
+	return bins, counts
+}

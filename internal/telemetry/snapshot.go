@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one histogram bucket in a snapshot: the upper bound and the
+// cumulative count of observations <= that bound (Prometheus le semantics).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Cumulative uint64  `json:"count"`
+}
+
+// SeriesSnapshot is one labeled series frozen at snapshot time.
+type SeriesSnapshot struct {
+	Labels Labels `json:"labels,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value"`
+	// Count/Sum/Buckets carry histograms.
+	Count   uint64        `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+
+	sig string // cached label signature for sorting/diffing
+}
+
+// MetricSnapshot is one metric family frozen at snapshot time, series sorted
+// by label signature.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   Kind             `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is the full registry state at one virtual instant, families
+// sorted by name. Identically-seeded runs produce byte-identical
+// WritePrometheus/JSON renderings of their snapshots (worker-labeled series
+// excepted; see the package comment).
+type Snapshot struct {
+	AtPS    int64            `json:"at_ps"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot freezes the registry. Safe on a nil registry (empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	snap.AtPS = int64(r.now())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.fams[n]
+		m := MetricSnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			ss := SeriesSnapshot{Labels: s.labels.clone(), sig: sig}
+			if f.kind == KindHistogram {
+				ss.Count = s.n
+				ss.Sum = s.sum
+				var cum uint64
+				for i, b := range f.bounds {
+					cum += s.counts[i]
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: b, Cumulative: cum})
+				}
+			} else {
+				ss.Value = s.value
+			}
+			m.Series = append(m.Series, ss)
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// Find returns the named family's snapshot, or nil.
+func (s *Snapshot) Find(name string) *MetricSnapshot {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the scalar of the series matching labels (counter or gauge),
+// or 0 if absent.
+func (s *Snapshot) Value(name string, labels Labels) float64 {
+	m := s.Find(name)
+	if m == nil {
+		return 0
+	}
+	sig := labels.signature()
+	for _, ss := range m.Series {
+		if ss.Labels.signature() == sig {
+			return ss.Value
+		}
+	}
+	return 0
+}
+
+// Total sums the scalar over every series of the named family.
+func (s *Snapshot) Total(name string) float64 {
+	m := s.Find(name)
+	if m == nil {
+		return 0
+	}
+	var t float64
+	for _, ss := range m.Series {
+		t += ss.Value
+	}
+	return t
+}
+
+// formatFloat renders floats the same way everywhere so expositions are
+// byte-stable: integers without a fraction, everything else in Go's
+// shortest-repr 'g' form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set ({k="v",...}) sorted by key, with the
+// optional extra pair appended (used for histogram le bounds).
+func promLabels(l Labels, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, l[k]))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, extraVal))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (HELP/TYPE comments, histogram _bucket/_sum/_count expansion).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# snapshot at_ps %d\n", s.AtPS); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		for _, ss := range m.Series {
+			if m.Kind == KindHistogram {
+				for _, b := range ss.Buckets {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name,
+						promLabels(ss.Labels, "le", formatFloat(b.UpperBound)), b.Cumulative); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name,
+					promLabels(ss.Labels, "le", "+Inf"), ss.Count); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name,
+					promLabels(ss.Labels, "", ""), formatFloat(ss.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name,
+					promLabels(ss.Labels, "", ""), ss.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name,
+				promLabels(ss.Labels, "", ""), formatFloat(ss.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSON renders the snapshot as deterministic indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Diff returns after minus before: counters and histograms as deltas,
+// gauges at their after value. Series present only in after are taken
+// whole; series that vanished are omitted — matching how Table-2-style
+// overhead attribution brackets a workload between two snapshots.
+func Diff(before, after *Snapshot) *Snapshot {
+	out := &Snapshot{AtPS: after.AtPS}
+	for _, am := range after.Metrics {
+		bm := before.Find(am.Name)
+		dm := MetricSnapshot{Name: am.Name, Help: am.Help, Kind: am.Kind}
+		for _, as := range am.Series {
+			ds := as
+			if bm != nil && am.Kind != KindGauge {
+				if bs := findSeries(bm, as.Labels); bs != nil {
+					ds.Value = as.Value - bs.Value
+					ds.Sum = as.Sum - bs.Sum
+					ds.Count = as.Count - bs.Count
+					ds.Buckets = nil
+					for i, b := range as.Buckets {
+						prev := uint64(0)
+						if i < len(bs.Buckets) {
+							prev = bs.Buckets[i].Cumulative
+						}
+						ds.Buckets = append(ds.Buckets, BucketCount{
+							UpperBound: b.UpperBound, Cumulative: b.Cumulative - prev})
+					}
+				}
+			}
+			dm.Series = append(dm.Series, ds)
+		}
+		out.Metrics = append(out.Metrics, dm)
+	}
+	return out
+}
+
+func findSeries(m *MetricSnapshot, labels Labels) *SeriesSnapshot {
+	sig := labels.signature()
+	for i := range m.Series {
+		if m.Series[i].Labels.signature() == sig {
+			return &m.Series[i]
+		}
+	}
+	return nil
+}
+
+// DumpMetrics writes the registry's current snapshot in Prometheus text
+// form to path ("-" means stdout). The shared implementation behind every
+// CLI's -metrics-out flag.
+func DumpMetrics(path string, reg *Registry) error {
+	return dumpTo(path, func(w io.Writer) error {
+		return reg.Snapshot().WritePrometheus(w)
+	})
+}
+
+// DumpEvents writes the journal as JSONL to path ("-" means stdout) —
+// the shared implementation behind every CLI's -events-out flag.
+func DumpEvents(path string, j *Journal) error {
+	return dumpTo(path, j.WriteJSONL)
+}
+
+func dumpTo(path string, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

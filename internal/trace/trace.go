@@ -14,11 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"plugvolt/internal/core"
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // Sample is one observation of a core's operating point.
@@ -180,19 +180,18 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 
 // Histogram buckets rail voltages into binMV-wide bins (floor of mV) and
 // returns sorted bin lower-bounds with counts — a quick distribution view.
+// Binning is true floor division (telemetry.FloorBin), so negative rail
+// values land in the bin whose lower bound is below them; the earlier
+// integer-division version truncated toward zero and put e.g. -0.5 mV into
+// the [0, binMV) bin.
 func (r *Recorder) Histogram(binMV int) ([]int, map[int]int, error) {
-	if binMV <= 0 {
-		return nil, nil, errors.New("trace: bin width must be positive")
+	b, err := telemetry.NewBins(binMV)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
 	}
-	counts := map[int]int{}
 	for _, s := range r.samples {
-		bin := (int(s.RailMV) / binMV) * binMV
-		counts[bin]++
+		b.Observe(s.RailMV)
 	}
-	bins := make([]int, 0, len(counts))
-	for b := range counts {
-		bins = append(bins, b)
-	}
-	sort.Ints(bins)
+	bins, counts := b.Snapshot()
 	return bins, counts, nil
 }

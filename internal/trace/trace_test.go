@@ -269,6 +269,105 @@ func TestWriteCSVAndHistogram(t *testing.T) {
 	}
 }
 
+func TestRecorderCapStaysStopped(t *testing.T) {
+	// Once the cap is hit the ticker stops for good: running the sim much
+	// longer adds nothing, the first Cap samples are retained (drop-newest),
+	// and Stop remains safe to call.
+	p := newPlatform(t, 8)
+	r, _ := NewRecorder(p.Core(0), sim.Microsecond)
+	r.Cap = 3
+	if err := r.Start(p.Sim); err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(10 * sim.Microsecond)
+	if r.Len() != 3 {
+		t.Fatalf("cap not enforced: %d samples", r.Len())
+	}
+	firstAt := r.Samples()[0].At
+	p.Sim.RunFor(10 * sim.Millisecond)
+	if r.Len() != 3 {
+		t.Fatalf("sampling resumed after cap: %d samples", r.Len())
+	}
+	if r.Samples()[0].At != firstAt {
+		t.Fatal("cap evicted the oldest sample; expected drop-newest")
+	}
+	r.Stop() // must not panic on an already-stopped ticker
+}
+
+func TestDwellSingleSample(t *testing.T) {
+	p := newPlatform(t, 9)
+	r, _ := NewRecorder(p.Core(0), 10*sim.Microsecond)
+	r.samples = []Sample{{At: 100 * sim.Microsecond, OffsetMV: -50}}
+	st := r.Dwell(func(s Sample) bool { return s.OffsetMV < 0 })
+	if st.Observed != r.period {
+		t.Fatalf("single-sample observed %v, want one period %v", st.Observed, r.period)
+	}
+	if st.Total != r.period || st.Longest != r.period || st.Episodes != 1 {
+		t.Fatalf("single matching sample: %+v", st)
+	}
+	if st.Fraction() != 1 {
+		t.Fatalf("fraction %v, want 1", st.Fraction())
+	}
+	// The same sample failing the predicate: zero dwell, nonzero span.
+	st = r.Dwell(func(s Sample) bool { return s.OffsetMV > 0 })
+	if st.Total != 0 || st.Episodes != 0 || st.Observed != r.period {
+		t.Fatalf("single non-matching sample: %+v", st)
+	}
+}
+
+func TestDwellAllTrue(t *testing.T) {
+	p := newPlatform(t, 10)
+	r, _ := NewRecorder(p.Core(0), 10*sim.Microsecond)
+	const n = 7
+	for i := 0; i < n; i++ {
+		r.samples = append(r.samples, Sample{At: sim.Time(i) * 10 * sim.Microsecond})
+	}
+	st := r.Dwell(func(Sample) bool { return true })
+	want := sim.Duration(n) * 10 * sim.Microsecond
+	if st.Total != want || st.Observed != want {
+		t.Fatalf("all-true total %v observed %v, want %v", st.Total, st.Observed, want)
+	}
+	if st.Episodes != 1 || st.Longest != want {
+		t.Fatalf("all-true is one episode spanning the recording: %+v", st)
+	}
+	if st.Fraction() != 1 {
+		t.Fatalf("fraction %v, want 1", st.Fraction())
+	}
+}
+
+func TestHistogramFloorsNegativeBins(t *testing.T) {
+	// Rail values below zero must land in the bin whose lower bound is
+	// below them. The old integer-division binning truncated toward zero:
+	// -0.5 and -10.1 both mis-binned one bin too high.
+	p := newPlatform(t, 11)
+	r, _ := NewRecorder(p.Core(0), sim.Microsecond)
+	r.samples = []Sample{
+		{RailMV: -0.5},  // → bin -10
+		{RailMV: -10},   // exactly on a boundary → bin -10
+		{RailMV: -10.1}, // → bin -20
+		{RailMV: 0.5},   // → bin 0
+		{RailMV: 9.9},   // → bin 0
+	}
+	bins, counts, err := r.Histogram(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBins := []int{-20, -10, 0}
+	if len(bins) != len(wantBins) {
+		t.Fatalf("bins %v, want %v", bins, wantBins)
+	}
+	for i, b := range wantBins {
+		if bins[i] != b {
+			t.Fatalf("bins %v, want %v", bins, wantBins)
+		}
+	}
+	for bin, want := range map[int]int{-20: 1, -10: 2, 0: 2} {
+		if counts[bin] != want {
+			t.Fatalf("bin %d count %d, want %d", bin, counts[bin], want)
+		}
+	}
+}
+
 func TestEmptyRecorderEdges(t *testing.T) {
 	p := newPlatform(t, 7)
 	r, _ := NewRecorder(p.Core(0), sim.Microsecond)

@@ -26,9 +26,11 @@ import (
 	"plugvolt/internal/defense"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/models"
+	"plugvolt/internal/msr"
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sgx"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 // Re-exported vocabulary types. Aliases keep the internal packages as the
@@ -75,6 +77,10 @@ type System struct {
 	Kernel   *kernel.Kernel
 	Registry *sgx.Registry
 	CPUFreq  *pstate.Manager
+	// Telemetry is the system-wide metrics registry and event journal,
+	// clocked by the system simulator. Always non-nil after NewSystem; the
+	// guard, kernel, attacks and characterizer publish into it by default.
+	Telemetry *telemetry.Set
 }
 
 // NewSystem boots a simulated machine of the named model ("skylake",
@@ -94,11 +100,13 @@ func NewSystem(model string, seed int64) (*System, error) {
 		return nil, err
 	}
 	sys := &System{
-		Platform: p,
-		Kernel:   kernel.New(p.Sim, p),
-		Registry: sgx.NewRegistry(p.Sim),
-		CPUFreq:  mgr,
+		Platform:  p,
+		Kernel:    kernel.New(p.Sim, p),
+		Registry:  sgx.NewRegistry(p.Sim),
+		CPUFreq:   mgr,
+		Telemetry: telemetry.NewSet(p.Sim.Now, telemetry.DefaultJournalCap),
 	}
+	sys.Kernel.SetTelemetry(sys.Telemetry)
 	// Attestation reports carry the hyperthreading status (the precedent
 	// the paper cites for attesting software features); derive it from the
 	// model's SMT topology.
@@ -110,7 +118,56 @@ func NewSystem(model string, seed int64) (*System, error) {
 
 // Env packages the system for attack/defense deployment.
 func (s *System) Env() *defense.Env {
-	return &defense.Env{Platform: s.Platform, Kernel: s.Kernel, Registry: s.Registry}
+	return &defense.Env{Platform: s.Platform, Kernel: s.Kernel,
+		Registry: s.Registry, Telemetry: s.Telemetry}
+}
+
+// CollectTelemetry publishes the pull-style state — kernel CPU-time
+// accounting, MSR write-hook statistics, platform reboots — into the
+// system's metrics registry. Counters and journal events accumulate live;
+// call this right before snapshotting or exporting so the gauges reflect
+// the moment of export.
+func (s *System) CollectTelemetry() {
+	reg := s.Telemetry.Registry()
+	s.Kernel.Collect(reg)
+	for i := 0; i < s.Platform.NumCores(); i++ {
+		st := s.Platform.MSRFile(i).WriteHookStats(msr.OCMailbox)
+		lbl := telemetry.Labels{"core": fmt.Sprintf("%d", i)}
+		reg.Gauge("msr_write_hook_hits", "OC-mailbox write-hook invocations", lbl).Set(float64(st.Hits))
+		reg.Gauge("msr_write_hook_rejects", "OC-mailbox writes rejected by a hook", lbl).Set(float64(st.Rejects))
+		reg.Gauge("msr_write_hook_rewrites", "OC-mailbox writes rewritten by a hook", lbl).Set(float64(st.Rewrites))
+	}
+	reg.Gauge("platform_reboots", "machine crash/reboot count", nil).Set(float64(s.Platform.Reboots))
+}
+
+// SetTelemetry replaces the system's telemetry set and rewires every
+// component holding a reference to it. Tools that boot several systems can
+// point them all at one shared set so counters accumulate across runs (the
+// clock must then be managed by the caller).
+func (s *System) SetTelemetry(t *telemetry.Set) {
+	s.Telemetry = t
+	s.Kernel.SetTelemetry(t)
+}
+
+// DumpTelemetry collects pull-style state and writes the Prometheus
+// exposition and/or the JSONL event journal to the given paths. An empty
+// path skips that output; "-" writes to stdout.
+func (s *System) DumpTelemetry(metricsPath, eventsPath string) error {
+	if metricsPath == "" && eventsPath == "" {
+		return nil
+	}
+	s.CollectTelemetry()
+	if metricsPath != "" {
+		if err := telemetry.DumpMetrics(metricsPath, s.Telemetry.Registry()); err != nil {
+			return err
+		}
+	}
+	if eventsPath != "" {
+		if err := telemetry.DumpEvents(eventsPath, s.Telemetry.Events()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PaperSweep returns the paper's full Algorithm 2 configuration: every
@@ -139,6 +196,9 @@ func QuickSweep() CharacterizerConfig {
 // worker count and leave s.Platform untouched. core.NewCharacterizer
 // remains available for the serial, shared-platform protocol.
 func (s *System) Characterize(cfg CharacterizerConfig) (*Grid, error) {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = s.Telemetry
+	}
 	sc, err := core.NewShardedCharacterizer(s.Platform.Spec, s.Platform.Seed(), cfg)
 	if err != nil {
 		return nil, err
@@ -156,6 +216,9 @@ func (s *System) DeployGuard(grid *Grid) (*defense.Polling, error) {
 func (s *System) DeployGuardConfig(grid *Grid, cfg GuardConfig) (*defense.Polling, error) {
 	if grid == nil {
 		return nil, fmt.Errorf("plugvolt: nil grid")
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = s.Telemetry
 	}
 	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, cfg)
 	if err != nil {
@@ -175,7 +238,9 @@ func (s *System) Defenses(grid *Grid) ([]Countermeasure, error) {
 	if grid == nil {
 		return nil, fmt.Errorf("plugvolt: nil grid")
 	}
-	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, core.DefaultGuardConfig())
+	gcfg := core.DefaultGuardConfig()
+	gcfg.Telemetry = s.Telemetry
+	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, gcfg)
 	if err != nil {
 		return nil, err
 	}
