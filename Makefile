@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench golden golden-update artifacts metrics-demo
+.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,22 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Benchmark regression artifact: run the figure-level and hot-path
+# benchmarks with enough repetition for benchstat, convert the output to
+# JSON (raw text preserved in the "raw" field), and write the next numbered
+# BENCH_<n>.json. The experiment-campaign benchmarks (E1-E3, ablations) are
+# excluded: at -count 5 they run for tens of minutes without adding signal
+# about the engine hot paths the artifact tracks. Compare artifacts with
+#   go run ./cmd/plugvolt-bench -compare BENCH_0.json BENCH_1.json
+# or feed the raw fields to benchstat (see EXPERIMENTS.md).
+bench-json:
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers' \
+		-benchtime 300x -count 5 -run '^$$' -timeout 30m . ; \
+	  $(GO) test -bench . -benchtime 300x -count 5 -run '^$$' \
+		./internal/sim ./internal/timing ; } \
+		| $(GO) run ./cmd/plugvolt-bench -o BENCH_$$n.json
 
 # Golden-artifact conformance: re-derive figs 2-4 at 1/2/8 workers and diff
 # bit-for-bit against artifacts/. golden-update rewrites the goldens after

@@ -1,0 +1,206 @@
+// plugvolt-bench converts `go test -bench` output into a JSON benchmark
+// artifact and compares two such artifacts.
+//
+// The JSON carries the verbatim benchmark text in its "raw" field, so an
+// artifact remains directly consumable by benchstat:
+//
+//	jq -r .raw BENCH_0.json > old.txt
+//	jq -r .raw BENCH_1.json > new.txt
+//	benchstat old.txt new.txt
+//
+// Usage:
+//
+//	go test -bench . -count 5 ./... | plugvolt-bench -o BENCH_1.json
+//	plugvolt-bench -compare BENCH_0.json BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Artifact is the on-disk benchmark record. Raw preserves the exact
+// benchstat-compatible text; Benchmarks is the parsed view for tooling that
+// wants numbers without re-parsing.
+type Artifact struct {
+	// Context is the goos/goarch/pkg/cpu header lines keyed by field name.
+	Context map[string]string `json:"context"`
+	// Benchmarks holds one entry per benchmark result line, in input order.
+	Benchmarks []Result `json:"benchmarks"`
+	// Raw is the verbatim `go test -bench` text the artifact was built from.
+	Raw string `json:"raw"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit to value, e.g. "ns/op": 845123.5, "allocs/op": 0.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON artifact to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two artifacts: plugvolt-bench -compare OLD.json NEW.json")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: plugvolt-bench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	art, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
+		os.Exit(1)
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "plugvolt-bench: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmark lines)\n", *out, len(art.Benchmarks))
+}
+
+// parse reads `go test -bench` text, keeping every line in Raw and lifting
+// header and Benchmark lines into structured fields.
+func parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{Context: map[string]string{}}
+	var raw strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				art.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if res, ok := parseBenchLine(line); ok {
+			art.Benchmarks = append(art.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	art.Raw = raw.String()
+	return art, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  123.4 ns/op  0 B/op ..."
+// into a Result. Non-benchmark lines return ok=false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// compareArtifacts prints per-benchmark mean ns/op deltas between two
+// artifacts. It is a quick gate for CI and local runs; use benchstat on the
+// raw fields for a statistically grounded comparison.
+func compareArtifacts(w io.Writer, oldPath, newPath string) error {
+	oldArt, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newArt, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldMeans := means(oldArt)
+	newMeans := means(newArt)
+	names := make([]string, 0, len(oldMeans))
+	for name := range oldMeans {
+		if _, ok := newMeans[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldMeans[name], newMeans[name]
+		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%\n", name, o, n, (n-o)/o*100)
+	}
+	return nil
+}
+
+func load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{}
+	if err := json.Unmarshal(data, art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// means averages ns/op per benchmark name across repeated -count runs.
+func means(art *Artifact) map[string]float64 {
+	sum := map[string]float64{}
+	n := map[string]int{}
+	for _, b := range art.Benchmarks {
+		v, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		sum[b.Name] += v
+		n[b.Name]++
+	}
+	out := make(map[string]float64, len(sum))
+	for name, s := range sum {
+		out[name] = s / float64(n[name])
+	}
+	return out
+}

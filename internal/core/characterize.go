@@ -138,6 +138,9 @@ func (c *Characterizer) Run() (*Grid, error) {
 		OffsetsMV:  offs,
 		Cells:      make([][]Classification, len(freqs)),
 	}
+	// One contiguous slab backs every row: a single allocation for the whole
+	// grid, and better locality when the boundary extraction scans it.
+	cells := make([]Classification, len(freqs)*len(offs))
 	rebootsBefore := p.Reboots
 
 	// Algorithm 2 lines 6-7: record the normal operating point.
@@ -149,8 +152,8 @@ func (c *Characterizer) Run() (*Grid, error) {
 	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
 
 	for fi, freqKHz := range freqs {
-		row, err := c.sweepRow(freqKHz, offs)
-		if err != nil {
+		row := cells[fi*len(offs) : (fi+1)*len(offs) : (fi+1)*len(offs)]
+		if err := c.sweepRowInto(row, freqKHz, offs); err != nil {
 			return nil, err
 		}
 		g.Cells[fi] = row
@@ -172,11 +175,21 @@ func (c *Characterizer) Run() (*Grid, error) {
 // offsets are at least as bad). A crash reboots the platform and rebuilds
 // the cpufreq stack, as the paper's harness must.
 func (c *Characterizer) sweepRow(freqKHz int, offs []int) ([]Classification, error) {
+	row := make([]Classification, len(offs))
+	if err := c.sweepRowInto(row, freqKHz, offs); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// sweepRowInto is sweepRow writing into a caller-provided buffer (len(offs)
+// cells), so the sweep engines can slab-allocate the whole grid up front
+// instead of allocating per row.
+func (c *Characterizer) sweepRowInto(row []Classification, freqKHz int, offs []int) error {
 	// Line 9: set core frequency through cpupower.
 	if err := c.cp.FrequencySet(c.cfg.VictimCore, freqKHz); err != nil {
-		return nil, fmt.Errorf("core: cpupower at %d kHz: %w", freqKHz, err)
+		return fmt.Errorf("core: cpupower at %d kHz: %w", freqKHz, err)
 	}
-	row := make([]Classification, len(offs))
 	crashed := false
 	for oi, offsetMV := range offs {
 		if crashed {
@@ -185,7 +198,7 @@ func (c *Characterizer) sweepRow(freqKHz int, offs []int) ([]Classification, err
 		}
 		cls, err := c.measurePoint(freqKHz, offsetMV)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row[oi] = cls
 		if cls == Crash {
@@ -197,7 +210,7 @@ func (c *Characterizer) sweepRow(freqKHz int, offs []int) ([]Classification, err
 			c.resetCPUPower()
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // resetCPUPower rebuilds the cpufreq manager after a reboot (module state

@@ -99,6 +99,11 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 		Cells:      make([][]Classification, len(freqs)),
 	}
 
+	// One slab backs every row. Workers write disjoint [fi*len(offs),
+	// (fi+1)*len(offs)) windows, so sharing the backing array is race-free
+	// and the whole grid costs one allocation instead of one per row.
+	cells := make([]Classification, len(freqs)*len(offs))
+
 	jobs := make(chan int)
 	results := make(chan rowResult)
 	var wg sync.WaitGroup
@@ -108,7 +113,8 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 		go func(w int) {
 			defer wg.Done()
 			for fi := range jobs {
-				row, reboots, virtual, err := sc.sweepRow(freqs[fi], offs)
+				row := cells[fi*len(offs) : (fi+1)*len(offs) : (fi+1)*len(offs)]
+				reboots, virtual, err := sc.sweepRow(row, freqs[fi], offs)
 				results <- rowResult{fi: fi, row: row, reboots: reboots,
 					err: err, worker: w, virtual: virtual}
 			}
@@ -252,34 +258,34 @@ func mergeRow(g *Grid, r rowResult) {
 
 // sweepRow characterizes one frequency on a private platform stack: build
 // the machine from the row seed, record the stock operating point, run the
-// serial engine's row sweep, and restore — exactly the per-row protocol of
-// Characterizer.Run, minus the cross-row state.
-func (sc *ShardedCharacterizer) sweepRow(freqKHz int, offs []int) ([]Classification, int, sim.Duration, error) {
+// serial engine's row sweep into the caller's row buffer, and restore —
+// exactly the per-row protocol of Characterizer.Run, minus the cross-row
+// state.
+func (sc *ShardedCharacterizer) sweepRow(row []Classification, freqKHz int, offs []int) (int, sim.Duration, error) {
 	p, err := sc.Factory(RowSeed(sc.seed, freqKHz))
 	if err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
 	ch, err := NewCharacterizer(p, sc.cfg)
 	if err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
 	// Algorithm 2 lines 6-7: record the normal operating point.
 	origStatus, err := p.MSRFile(sc.cfg.VictimCore).Read(msr.IA32PerfStatus)
 	if err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
 	origRatio, _ := msr.DecodePerfStatus(origStatus)
 	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
 
-	row, err := ch.sweepRow(freqKHz, offs)
-	if err != nil {
-		return nil, 0, 0, err
+	if err := ch.sweepRowInto(row, freqKHz, offs); err != nil {
+		return 0, 0, err
 	}
 	// Lines 13-14: restore the stock frequency and zero offset. The platform
 	// is discarded afterwards, but the restore keeps the row's RNG draw
 	// sequence identical to the serial engine's per-row protocol.
 	if err := ch.restore(origFreqKHz); err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
-	return row, p.Reboots, sim.Duration(p.Sim.Now()), nil
+	return p.Reboots, sim.Duration(p.Sim.Now()), nil
 }

@@ -55,6 +55,12 @@ var throughputCPI = map[Class]float64{
 	ClassALU:  0.25,
 }
 
+// resolvedPath is one cached PathByName result (see Core.analysis).
+type resolvedPath struct {
+	name string
+	path timing.Path
+}
+
 // Core is one simulated CPU core.
 type Core struct {
 	index int
@@ -82,8 +88,12 @@ type Core struct {
 	// stale ratio.
 	targetRatio uint8
 	// pendingUp is the deferred PLL relock of an in-flight up-transition;
-	// a newer P-state command pre-empts it.
-	pendingUp *sim.Event
+	// a newer P-state command pre-empts it. The zero Event is inert, so no
+	// nil checks are needed around Cancel.
+	pendingUp sim.Event
+	// pathCache holds the timing paths this core has resolved by name (at
+	// most one per path in the circuit; linear-scanned).
+	pathCache []resolvedPath
 
 	// Retired counts successfully executed instructions; Faulted counts
 	// instructions whose result was corrupted.
@@ -140,10 +150,8 @@ func (c *Core) SetRatio(ratio uint8) error {
 		// Surface the range error synchronously, as the PLL would.
 		return c.PLL.SetRatio(ratio)
 	}
-	if c.pendingUp != nil {
-		c.pendingUp.Cancel()
-		c.pendingUp = nil
-	}
+	c.pendingUp.Cancel()
+	c.pendingUp = sim.Event{}
 	if ratio > c.PLL.PendingRatio() {
 		// Up-transition: voltage first, frequency after the rail settles.
 		// The relock re-arms itself if a concurrent command (mailbox
@@ -166,7 +174,7 @@ func (c *Core) SetRatio(ratio uint8) error {
 				c.pendingUp = c.simr.At(next, relock)
 				return
 			}
-			c.pendingUp = nil
+			c.pendingUp = sim.Event{}
 			_ = c.PLL.SetRatio(ratio) // range checked above
 		}
 		c.pendingUp = c.simr.At(c.VR.SettleTime(), relock)
@@ -181,12 +189,20 @@ func (c *Core) SetRatio(ratio uint8) error {
 	return nil
 }
 
-// analysis runs Eq. 1 for the class at the live operating point.
+// analysis runs Eq. 1 for the class at the live operating point. Resolved
+// paths are cached per core (the circuit's path set is immutable), because
+// RunBatch consults the control and class paths on every batch.
 func (c *Core) analysis(path string) timing.Analysis {
+	for i := range c.pathCache {
+		if c.pathCache[i].name == path {
+			return c.circ.Analyze(c.pathCache[i].path, c.PLL.FreqGHz(), c.VoltageV())
+		}
+	}
 	p, ok := c.circ.PathByName(path)
 	if !ok {
 		panic(fmt.Sprintf("cpu: unknown timing path %q", path))
 	}
+	c.pathCache = append(c.pathCache, resolvedPath{name: path, path: p})
 	return c.circ.Analyze(p, c.PLL.FreqGHz(), c.VoltageV())
 }
 
@@ -538,10 +554,8 @@ func (p *Platform) Reboot() {
 		}
 		c.VR = rail
 		c.targetRatio = p.Spec.BaseRatio
-		if c.pendingUp != nil {
-			c.pendingUp.Cancel()
-			c.pendingUp = nil
-		}
+		c.pendingUp.Cancel()
+		c.pendingUp = sim.Event{}
 		c.wireMSRs()
 	}
 	p.Reboots++

@@ -18,6 +18,7 @@ package models
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"plugvolt/internal/timing"
 )
@@ -68,11 +69,54 @@ type Spec struct {
 	Depths map[string]float64
 	// ControlDepth is the relative depth of the pipeline-control path.
 	ControlDepth float64
+
+	// derived caches the pure derivations every hot path re-requests: the
+	// validated circuit template, the frequency table, and the nominal V/f
+	// curve. Calibrate invalidates it; other fields must not be mutated
+	// once a Spec is in use (the shared-across-workers contract FactoryFor
+	// already imposes).
+	derived atomic.Pointer[derivedSpec]
+}
+
+// derivedSpec is the immutable cache behind Spec's accessors. The sharded
+// characterizer shares one Spec across workers, so it is built once and
+// published via atomic pointer; every field is read-only after publication.
+type derivedSpec struct {
+	circ    *timing.Circuit // validated, fully indexed template (nil before Calibrate)
+	circErr error
+	freqKHz []int
+	nomMV   []float64 // indexed by ratio - MinRatio
+}
+
+// derive returns the cached derivations, building them on first use.
+func (s *Spec) derive() *derivedSpec {
+	if d := s.derived.Load(); d != nil {
+		return d
+	}
+	d := &derivedSpec{}
+	for r := s.MinRatio; ; r++ {
+		d.freqKHz = append(d.freqKHz, int(r)*s.BusMHz*1000)
+		d.nomMV = append(d.nomMV, s.nominalMV(r))
+		if r == s.MaxTurboRatio {
+			break
+		}
+	}
+	if s.Tech.K != 0 {
+		d.circ, d.circErr = s.buildCircuit()
+		if d.circ != nil {
+			d.circ.Prepare()
+		}
+	}
+	// Concurrent first callers may race to build; any winner's copy is
+	// equivalent, so publish with CompareAndSwap and reload.
+	s.derived.CompareAndSwap(nil, d)
+	return s.derived.Load()
 }
 
 // NominalMV returns the stock core voltage the P-state hardware requests at
 // the given ratio (before any OC-mailbox offset). Ratios outside the
-// programmable range are clamped.
+// programmable range are clamped. Values come from a precomputed per-ratio
+// table (every P-state retarget used to pay a math.Pow here).
 func (s *Spec) NominalMV(ratio uint8) float64 {
 	if ratio < s.MinRatio {
 		ratio = s.MinRatio
@@ -80,6 +124,15 @@ func (s *Spec) NominalMV(ratio uint8) float64 {
 	if ratio > s.MaxTurboRatio {
 		ratio = s.MaxTurboRatio
 	}
+	d := s.derive()
+	if i := int(ratio) - int(s.MinRatio); i >= 0 && i < len(d.nomMV) {
+		return d.nomMV[i]
+	}
+	return s.nominalMV(ratio) // degenerate ranges fall back to the formula
+}
+
+// nominalMV is the direct V(r) curve evaluation backing the cached table.
+func (s *Spec) nominalMV(ratio uint8) float64 {
 	span := float64(s.MaxTurboRatio - s.MinRatio)
 	if span == 0 {
 		return s.VminMV
@@ -94,16 +147,9 @@ func (s *Spec) MaxGHz() float64 {
 }
 
 // FreqTableKHz enumerates the programmable frequencies (one per ratio).
-func (s *Spec) FreqTableKHz() []int {
-	var out []int
-	for r := s.MinRatio; ; r++ {
-		out = append(out, int(r)*s.BusMHz*1000)
-		if r == s.MaxTurboRatio {
-			break
-		}
-	}
-	return out
-}
+// The returned slice is cached and shared — callers must treat it as
+// read-only (every existing consumer only iterates or copies it).
+func (s *Spec) FreqTableKHz() []int { return s.derive().freqKHz }
 
 // Calibrate derives Tech.K so that the deepest path has exactly MarginPS of
 // slack at (MaxTurboRatio, NominalMV(MaxTurboRatio)), then validates the
@@ -128,15 +174,33 @@ func (s *Spec) Calibrate() error {
 		return fmt.Errorf("models: %s: nominal voltage %.3f V not above Vth %.3f V", s.Codename, vmax, s.Tech.Vth)
 	}
 	s.Tech.K = target / factor
+	// K changed, so any derivations cached before calibration are stale.
+	s.derived.Store(nil)
 	return s.Tech.Validate()
 }
 
-// Circuit builds the per-core timing circuit for the model. Calibrate must
-// have been called (Tech.K non-zero).
+// Circuit returns the per-core timing circuit for the model. Calibrate must
+// have been called (Tech.K non-zero). The circuit is built and validated
+// once per Spec; each call returns a cheap clone of the cached template, so
+// every core gets a private delay memo over shared, prepared path tables.
 func (s *Spec) Circuit() (*timing.Circuit, error) {
 	if s.Tech.K == 0 {
 		return nil, fmt.Errorf("models: %s: Circuit before Calibrate", s.Codename)
 	}
+	d := s.derive()
+	if d.circErr != nil {
+		return nil, d.circErr
+	}
+	if d.circ == nil {
+		// Cached before K was set without going through Calibrate; build
+		// directly rather than serve a stale miss.
+		return s.buildCircuit()
+	}
+	return d.circ.Clone(), nil
+}
+
+// buildCircuit constructs and validates the circuit from the model tables.
+func (s *Spec) buildCircuit() (*timing.Circuit, error) {
 	c := &timing.Circuit{
 		Tech:          s.Tech,
 		EpsPS:         s.EpsPS,

@@ -262,11 +262,42 @@ type hookEntry struct {
 	fn WriteHook
 }
 
+// stdDescriptors is the architectural register set every core declares at
+// reset. NewFile copies it into the file's inline storage.
+var stdDescriptors = [...]Descriptor{
+	{Addr: OCMailbox, Name: "OC_MAILBOX"},
+	{Addr: VoltageOffsetLimit, Name: "MSR_VOLTAGE_OFFSET_LIMIT"},
+	{Addr: IA32PerfStatus, Name: "IA32_PERF_STATUS", ReadOnly: true},
+	{Addr: IA32PerfCtl, Name: "IA32_PERF_CTL"},
+	{Addr: TurboRatioLimit, Name: "MSR_TURBO_RATIO_LIMIT"},
+	{Addr: DRAMPowerLimit, Name: "MSR_DRAM_POWER_LIMIT"},
+	{Addr: DRAMPowerInfo, Name: "MSR_DRAM_POWER_INFO", ReadOnly: true},
+}
+
+// fileSlots is the inline register capacity: the standard set plus room for
+// the handful of extra MSRs defenses and tests declare. Declaring more
+// spills to the heap transparently via append.
+const fileSlots = 12
+
 // File is one logical CPU's MSR space.
+//
+// The register table is a set of parallel arrays scanned linearly by
+// address: a core exposes only a handful of MSRs, so the scan beats map
+// hashing on every rdmsr/wrmsr, and the inline backing arrays make NewFile
+// a single allocation — the characterizer rebuilds four files per crash
+// reboot, which previously made MSR maps the sweep's largest allocator.
+// File holds slices into its own arrays and must not be copied by value.
 type File struct {
-	core   int
-	values map[Addr]uint64
-	descs  map[Addr]*Descriptor
+	core  int
+	addrs []Addr
+	vals  []uint64
+	descs []*Descriptor
+
+	addrsBuf [fileSlots]Addr
+	valsBuf  [fileSlots]uint64
+	descsBuf [fileSlots]*Descriptor
+	stdBuf   [len(stdDescriptors)]Descriptor
+
 	// Reads and Writes count successful operations, used by the kernel
 	// cost model to charge rdmsr/wrmsr time.
 	Reads  uint64
@@ -276,18 +307,13 @@ type File struct {
 // NewFile builds an MSR file for the given core with the standard registers
 // declared (values at reset defaults).
 func NewFile(core int) *File {
-	f := &File{core: core, values: map[Addr]uint64{}, descs: map[Addr]*Descriptor{}}
-	for _, d := range []Descriptor{
-		{Addr: OCMailbox, Name: "OC_MAILBOX"},
-		{Addr: VoltageOffsetLimit, Name: "MSR_VOLTAGE_OFFSET_LIMIT"},
-		{Addr: IA32PerfStatus, Name: "IA32_PERF_STATUS", ReadOnly: true},
-		{Addr: IA32PerfCtl, Name: "IA32_PERF_CTL"},
-		{Addr: TurboRatioLimit, Name: "MSR_TURBO_RATIO_LIMIT"},
-		{Addr: DRAMPowerLimit, Name: "MSR_DRAM_POWER_LIMIT"},
-		{Addr: DRAMPowerInfo, Name: "MSR_DRAM_POWER_INFO", ReadOnly: true},
-	} {
-		d := d
-		f.Declare(&d)
+	f := &File{core: core}
+	f.addrs = f.addrsBuf[:0]
+	f.vals = f.valsBuf[:0]
+	f.descs = f.descsBuf[:0]
+	f.stdBuf = stdDescriptors
+	for i := range f.stdBuf {
+		f.Declare(&f.stdBuf[i])
 	}
 	return f
 }
@@ -295,15 +321,34 @@ func NewFile(core int) *File {
 // Core returns the logical CPU index this file belongs to.
 func (f *File) Core() int { return f.core }
 
+// index returns the register table slot for addr, or -1.
+func (f *File) index(addr Addr) int {
+	for i, a := range f.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
 // Declare registers (or replaces) a descriptor and installs its reset value.
 func (f *File) Declare(d *Descriptor) {
-	f.descs[d.Addr] = d
-	f.values[d.Addr] = d.Reset
+	if i := f.index(d.Addr); i >= 0 {
+		f.descs[i] = d
+		f.vals[i] = d.Reset
+		return
+	}
+	f.addrs = append(f.addrs, d.Addr)
+	f.vals = append(f.vals, d.Reset)
+	f.descs = append(f.descs, d)
 }
 
 // Descriptor returns the descriptor for addr, or nil.
 func (f *File) Descriptor(addr Addr) *Descriptor {
-	return f.descs[addr]
+	if i := f.index(addr); i >= 0 {
+		return f.descs[i]
+	}
+	return nil
 }
 
 // AddWriteHook appends a write hook to addr and returns its removal id.
@@ -311,7 +356,7 @@ func (f *File) Descriptor(addr Addr) *Descriptor {
 // previous one. It panics on an undeclared MSR — hook installation is
 // programmer-controlled, not data.
 func (f *File) AddWriteHook(addr Addr, h WriteHook) int {
-	d := f.descs[addr]
+	d := f.Descriptor(addr)
 	if d == nil {
 		panic(fmt.Sprintf("msr: AddWriteHook on undeclared MSR 0x%x", uint32(addr)))
 	}
@@ -324,7 +369,7 @@ func (f *File) AddWriteHook(addr Addr, h WriteHook) int {
 // AddWriteHook), leaving other hooks — such as the platform's hardware
 // wiring — in place. Unknown ids are a no-op.
 func (f *File) RemoveWriteHook(addr Addr, id int) {
-	d := f.descs[addr]
+	d := f.Descriptor(addr)
 	if d == nil {
 		return
 	}
@@ -339,7 +384,7 @@ func (f *File) RemoveWriteHook(addr Addr, id int) {
 // RemoveWriteHooks drops all hooks from addr, including platform wiring;
 // prefer RemoveWriteHook for uninstalling a single layer.
 func (f *File) RemoveWriteHooks(addr Addr) {
-	if d := f.descs[addr]; d != nil {
+	if d := f.Descriptor(addr); d != nil {
 		d.hooks = nil
 	}
 }
@@ -347,7 +392,7 @@ func (f *File) RemoveWriteHooks(addr Addr) {
 // WriteHookStats reports write-hook activity on addr (zero for undeclared
 // registers or registers without hooks).
 func (f *File) WriteHookStats(addr Addr) HookStats {
-	if d := f.descs[addr]; d != nil {
+	if d := f.Descriptor(addr); d != nil {
 		return d.HookStats
 	}
 	return HookStats{}
@@ -355,30 +400,32 @@ func (f *File) WriteHookStats(addr Addr) HookStats {
 
 // Read implements rdmsr.
 func (f *File) Read(addr Addr) (uint64, error) {
-	d := f.descs[addr]
-	if d == nil {
+	i := f.index(addr)
+	if i < 0 {
 		return 0, &GPFault{Addr: addr, Op: "rdmsr", Why: "unimplemented MSR"}
 	}
+	d := f.descs[i]
 	f.Reads++
 	if d.ReadFn != nil {
 		return d.ReadFn(f)
 	}
-	return f.values[addr], nil
+	return f.vals[i], nil
 }
 
 // Write implements wrmsr, running the register's write hooks.
 func (f *File) Write(addr Addr, val uint64) error {
-	d := f.descs[addr]
-	if d == nil {
+	i := f.index(addr)
+	if i < 0 {
 		return &GPFault{Addr: addr, Op: "wrmsr", Why: "unimplemented MSR"}
 	}
+	d := f.descs[i]
 	if d.ReadOnly {
 		return &GPFault{Addr: addr, Op: "wrmsr", Why: "read-only MSR"}
 	}
 	if d.Locked {
 		return &GPFault{Addr: addr, Op: "wrmsr", Why: "MSR locked"}
 	}
-	old := f.values[addr]
+	old := f.vals[i]
 	v := val
 	for _, e := range d.hooks {
 		d.HookStats.Hits++
@@ -399,7 +446,11 @@ func (f *File) Write(addr Addr, val uint64) error {
 		}
 		v = nv
 	}
-	f.values[addr] = v
+	// Re-resolve the slot: a hook or Apply may have Declared registers and
+	// relocated the table.
+	if j := f.index(addr); j >= 0 {
+		f.vals[j] = v
+	}
 	f.Writes++
 	return nil
 }
@@ -408,11 +459,17 @@ func (f *File) Write(addr Addr, val uint64) error {
 // hardware-side backdoor used by the platform (e.g. the PLL updating
 // PERF_STATUS); software paths must use Write.
 func (f *File) Poke(addr Addr, val uint64) {
-	if _, ok := f.descs[addr]; !ok {
+	i := f.index(addr)
+	if i < 0 {
 		panic(fmt.Sprintf("msr: Poke on undeclared MSR 0x%x", uint32(addr)))
 	}
-	f.values[addr] = val
+	f.vals[i] = val
 }
 
 // Peek reads the stored value bypassing ReadFn. Returns 0 for undeclared.
-func (f *File) Peek(addr Addr) uint64 { return f.values[addr] }
+func (f *File) Peek(addr Addr) uint64 {
+	if i := f.index(addr); i >= 0 {
+		return f.vals[i]
+	}
+	return 0
+}

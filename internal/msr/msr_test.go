@@ -338,3 +338,19 @@ func BenchmarkFileWriteWithHook(b *testing.B) {
 		_ = f.Write(OCMailbox, uint64(i))
 	}
 }
+
+// TestNewFileSingleAllocation pins the register-file construction cost: the
+// inline descriptor and value buffers mean the only allocation is the File
+// itself. The sharded sweep builds cores*rows files, so regressions here
+// show up directly in the characterization benchmarks.
+func TestNewFileSingleAllocation(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		f := NewFile(0)
+		if _, err := f.Read(IA32PerfStatus); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("NewFile allocated %.1f objects, want <= 1", allocs)
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimEventThroughput measures the scheduler hot loop: a mixed
+// schedule/fire/cancel workload over a warm arena, mirroring what a
+// characterization row puts through the event queue (guard tickers,
+// batch-retire callbacks, relock timers that usually get cancelled).
+func BenchmarkSimEventThroughput(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the arena and heap
+		s.Schedule(Duration(i)*Nanosecond, fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(10*Nanosecond, fn)
+		s.Schedule(20*Nanosecond, fn)
+		ev := s.Schedule(30*Nanosecond, fn)
+		ev.Cancel()
+		s.RunFor(25 * Nanosecond)
+	}
+}
+
+// BenchmarkTickerReArm measures the steady-state cost of one periodic tick
+// (pop, fire, re-arm) — the guard sampling loop's fixed overhead.
+func BenchmarkTickerReArm(b *testing.B) {
+	s := New(1)
+	tk := s.Every(Microsecond, func() {})
+	defer tk.Stop()
+	s.RunFor(10 * Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFor(Microsecond)
+	}
+}

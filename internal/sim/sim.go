@@ -7,10 +7,17 @@
 // in the reproduction must be replayable bit-for-bit from a seed, so the
 // simulator owns a seeded random source and events at equal timestamps fire
 // in scheduling order.
+//
+// The event queue is a hand-rolled binary min-heap over an index-stable
+// event arena: scheduling recycles slots through a free list instead of
+// allocating an Event per call, heap entries are small value structs (no
+// interface boxing), and cancellation removes the entry eagerly via the
+// tracked heap index. The steady-state schedule/fire/cancel path performs no
+// heap allocation, which matters because the characterization sweeps push
+// hundreds of millions of events.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -51,66 +58,80 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel pending work (e.g. a kernel module being unloaded mid
-// poll interval).
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel pending work (e.g. a kernel module being
+// unloaded mid poll interval). It is a value handle into the simulator's
+// event arena: copying it is cheap and scheduling allocates nothing. The
+// generation counter makes stale handles harmless — cancelling an event that
+// has already fired, been cancelled, or whose slot was recycled is a no-op
+// on the simulator. The zero Event is valid and inert.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 when not queued
-	cancelled bool
+	s    *Simulator
+	at   Time
+	slot int32
+	gen  uint32
+	// done records that Cancel was called through this handle, preserving
+	// the historical Cancelled() semantics independent of slot recycling.
+	done bool
 }
 
 // Time reports when the event fires (or was scheduled to fire).
 func (e *Event) Time() Time { return e.at }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
-
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents a pending event from firing, removing it from the queue
+// immediately. Cancelling an event that has already fired or been cancelled
+// is a no-op.
+func (e *Event) Cancel() {
+	if e.done {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.done = true
+	if e.s != nil {
+		e.s.cancel(e.slot, e.gen)
+	}
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Cancelled reports whether Cancel was called on this handle.
+func (e *Event) Cancelled() bool { return e.done }
+
+// eventSlot is one arena cell. Live slots hold the callback and track their
+// heap position; free slots chain through next.
+type eventSlot struct {
+	fn   func()
+	at   Time
+	gen  uint32
+	heap int32 // index into Simulator.heap, -1 when not queued
+	next int32 // free-list link, meaningful only while free
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+// heapEnt is one packed entry of the min-heap. Ordering is (at, seq): seq is
+// a global schedule counter, so events at equal timestamps fire in
+// scheduling order — the FIFO property determinism depends on.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Simulator is a single-threaded discrete-event simulation kernel.
 // The zero value is not usable; construct with New.
 type Simulator struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	seed    int64
-	fired   uint64
-	stopped bool
+	now      Time
+	heap     []heapEnt
+	slots    []eventSlot
+	freeHead int32 // top of the free-slot stack, -1 when empty
+	seq      uint64
+	rng      *rand.Rand
+	seed     int64
+	fired    uint64
+	stopped  bool
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -118,8 +139,9 @@ type Simulator struct {
 // calls produce identical event orders and identical random draws.
 func New(seed int64) *Simulator {
 	return &Simulator{
-		rng:  rand.New(rand.NewSource(seed)),
-		seed: seed,
+		rng:      rand.New(newCachedSource(seed)),
+		seed:     seed,
+		freeHead: -1,
 	}
 }
 
@@ -141,7 +163,7 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero (fires at the current instant, after already-queued events at the
 // same timestamp).
-func (s *Simulator) Schedule(delay Duration, fn func()) *Event {
+func (s *Simulator) Schedule(delay Duration, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -151,40 +173,80 @@ func (s *Simulator) Schedule(delay Duration, fn func()) *Event {
 // At runs fn at absolute virtual time t. Scheduling in the past is an error
 // in the caller; we clamp to now to keep the clock monotone, which is the
 // least surprising recovery.
-func (s *Simulator) At(t Time, fn func()) *Event {
+func (s *Simulator) At(t Time, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.queue, e)
-	return e
+	i := s.allocSlot()
+	sl := &s.slots[i]
+	sl.fn = fn
+	sl.at = t
+	s.heapPush(heapEnt{at: t, seq: s.seq, slot: i})
+	return Event{s: s, at: t, slot: i, gen: sl.gen}
+}
+
+// allocSlot pops a recycled slot from the free list or grows the arena.
+func (s *Simulator) allocSlot() int32 {
+	if s.freeHead >= 0 {
+		i := s.freeHead
+		s.freeHead = s.slots[i].next
+		return i
+	}
+	s.slots = append(s.slots, eventSlot{heap: -1})
+	return int32(len(s.slots) - 1)
+}
+
+// freeSlot returns a slot to the free list. Bumping the generation
+// invalidates every outstanding handle; clearing fn releases the callback's
+// closure to the garbage collector.
+func (s *Simulator) freeSlot(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.gen++
+	sl.heap = -1
+	sl.next = s.freeHead
+	s.freeHead = i
+}
+
+// cancel removes the event in slot i from the queue if the handle's
+// generation still matches (i.e. the event has not fired or been recycled).
+func (s *Simulator) cancel(i int32, gen uint32) {
+	if i < 0 || int(i) >= len(s.slots) {
+		return
+	}
+	sl := &s.slots[i]
+	if sl.gen != gen || sl.heap < 0 {
+		return
+	}
+	s.heapRemove(sl.heap)
+	s.freeSlot(i)
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of live queued events. Cancelled events are
+// removed eagerly and never counted.
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // step executes the earliest pending event. It returns false when the queue
-// is empty.
+// is empty or the next event lies beyond limit.
 func (s *Simulator) step(limit Time) bool {
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at > limit {
-			return false
-		}
-		heap.Pop(&s.queue)
-		if next.cancelled {
-			continue
-		}
-		s.now = next.at
-		s.fired++
-		next.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	top := s.heap[0]
+	if top.at > limit {
+		return false
+	}
+	fn := s.slots[top.slot].fn
+	s.heapPopRoot()
+	s.freeSlot(top.slot)
+	s.now = top.at
+	s.fired++
+	fn()
+	return true
 }
 
 const maxTime = Time(1<<63 - 1)
@@ -210,13 +272,88 @@ func (s *Simulator) RunUntil(t Time) {
 // RunFor is RunUntil relative to the current time.
 func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now + d) }
 
+// heapPush appends e and restores the heap property, maintaining each live
+// slot's back-pointer into the heap.
+func (s *Simulator) heapPush(e heapEnt) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapPopRoot removes the minimum entry.
+func (s *Simulator) heapPopRoot() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// heapRemove deletes the entry at heap index i (eager cancellation).
+func (s *Simulator) heapRemove(i int32) {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap = s.heap[:n]
+	if int(i) == n {
+		return
+	}
+	s.heap[i] = last
+	if !s.siftDown(int(i)) {
+		s.siftUp(int(i))
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entLess(e, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.slots[s.heap[i].slot].heap = int32(i)
+		i = p
+	}
+	s.heap[i] = e
+	s.slots[e.slot].heap = int32(i)
+}
+
+// siftDown restores the heap property below i and reports whether the entry
+// moved (heapRemove uses this to decide if a sift-up is still needed).
+func (s *Simulator) siftDown(i int) bool {
+	e := s.heap[i]
+	n := len(s.heap)
+	moved := false
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && entLess(s.heap[r], s.heap[l]) {
+			c = r
+		}
+		if !entLess(s.heap[c], e) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.slots[s.heap[i].slot].heap = int32(i)
+		i = c
+		moved = true
+	}
+	s.heap[i] = e
+	s.slots[e.slot].heap = int32(i)
+	return moved
+}
+
 // Ticker invokes fn every period until cancelled. The first invocation is
 // one full period after the call. Cancel the returned Ticker to stop.
 type Ticker struct {
 	sim      *Simulator
 	period   Duration
 	fn       func()
-	ev       *Event
+	tick     func() // single re-armed closure, built once in Every
+	ev       Event
 	stopped  bool
 	Fires    uint64 // number of completed invocations
 	lastFire Time
@@ -228,12 +365,7 @@ func (s *Simulator) Every(period Duration, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.sim.Schedule(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -241,18 +373,18 @@ func (t *Ticker) arm() {
 		t.lastFire = t.sim.Now()
 		t.fn()
 		if !t.stopped {
-			t.arm()
+			t.ev = t.sim.Schedule(t.period, t.tick)
 		}
-	})
+	}
+	t.ev = s.Schedule(period, t.tick)
+	return t
 }
 
 // Stop cancels future ticks. Safe to call multiple times and from within the
 // tick callback itself.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }
 
 // LastFire reports the virtual time of the most recent completed tick.

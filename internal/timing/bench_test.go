@@ -1,0 +1,52 @@
+package timing
+
+import "testing"
+
+// benchCircuit is a six-path circuit shaped like the calibrated model
+// circuits (five instruction classes plus control).
+func benchCircuit() *Circuit {
+	c := &Circuit{
+		Tech:          testTech(),
+		EpsPS:         15,
+		JitterSigmaPS: 4,
+		Paths: []Path{
+			{Name: "imul", SrcDepth: 0.12, PropDepth: 0.88, SetupPS: 20},
+			{Name: "aesenc", SrcDepth: 0.115, PropDepth: 0.845, SetupPS: 20},
+			{Name: "fma", SrcDepth: 0.113, PropDepth: 0.827, SetupPS: 20},
+			{Name: "load", SrcDepth: 0.094, PropDepth: 0.686, SetupPS: 20},
+			{Name: "alu", SrcDepth: 0.07, PropDepth: 0.51, SetupPS: 20},
+			{Name: "control", SrcDepth: 0.11, PropDepth: 0.81, SetupPS: 20, Control: true},
+		},
+	}
+	c.Prepare()
+	return c
+}
+
+// BenchmarkWorstSlackGrid sweeps WorstSlack over a frequency x voltage grid
+// sized like one characterization row window: 29 frequencies by 64 offsets,
+// revisiting the same quantized operating points the way Algorithm 2 does.
+// This is the timing model's contribution to the Fig. 2 inner loop.
+func BenchmarkWorstSlackGrid(b *testing.B) {
+	c := benchCircuit()
+	freqs := make([]float64, 29)
+	for i := range freqs {
+		freqs[i] = 0.8 + float64(i)*0.1
+	}
+	volts := make([]float64, 64)
+	for i := range volts {
+		volts[i] = 1.17 - float64(i)*0.005
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range freqs {
+			for _, v := range volts {
+				a, err := c.WorstSlack(f, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.FaultProbability(a)
+			}
+		}
+	}
+}

@@ -88,8 +88,22 @@ type Path struct {
 // Depth returns the total gate depth of the path.
 func (p Path) Depth() float64 { return p.SrcDepth + p.PropDepth }
 
+// delayCacheBits sizes the per-circuit voltage→unit-delay memo. Operating
+// points are quantized to the (kHz, mV) grid, so a sweep touches only a
+// handful of distinct voltages per circuit; 64 direct-mapped slots make the
+// alpha-power math.Pow a table lookup in the inner loop.
+const (
+	delayCacheBits = 6
+	delayCacheSize = 1 << delayCacheBits
+)
+
 // Circuit is a set of timing paths sharing a clock and a voltage plane,
 // plus the clock-uncertainty model.
+//
+// Analysis methods lazily build and update internal lookup caches, so a
+// Circuit is NOT safe for concurrent use; hand each concurrent owner its
+// own copy via Clone. Paths must not be mutated after the first analysis
+// call (appending paths is detected and re-indexes).
 type Circuit struct {
 	Tech AlphaPower
 	// EpsPS is the worst-case clock uncertainty T_eps in picoseconds
@@ -101,6 +115,83 @@ type Circuit struct {
 	// matches the empirically fuzzy fault-onset bands in Figs. 2-4.
 	JitterSigmaPS float64
 	Paths         []Path
+
+	// depths caches Path.Depth() per path; byName maps path name to index
+	// (first occurrence wins, matching the historical linear scan). Both are
+	// rebuilt whenever their length disagrees with len(Paths). Clones share
+	// them read-only.
+	depths []float64
+	byName map[string]int
+	idxLen int
+	// dcKeys/dcVals is the direct-mapped voltage→unit-delay memo, keyed by
+	// the voltage's bit pattern. A zero key marks an empty slot: only
+	// v = +0.0 has zero bits, and Delay(+0) is either +Inf (short-circuited
+	// before the cache) or exactly the 0.0 an empty slot already holds.
+	// Clones copy the arrays by value, so each owner memoizes privately.
+	dcKeys [delayCacheSize]uint64
+	dcVals [delayCacheSize]float64
+	// fpKeys/fpVals/fpSet memoize FaultProbability per slack bit pattern
+	// (sigma is fixed per circuit). The sweep revisits the same few dozen
+	// quantized operating points millions of times, and erfc was the last
+	// transcendental left in the inner loop.
+	fpKeys [delayCacheSize]uint64
+	fpVals [delayCacheSize]float64
+	fpSet  [delayCacheSize]bool
+}
+
+// Clone returns a shallow copy sharing the immutable path slice and derived
+// lookup tables but owning a private delay memo, so many cores can analyze
+// one validated circuit without rebuilding or contending on it.
+func (c *Circuit) Clone() *Circuit {
+	cp := *c
+	return &cp
+}
+
+// Prepare eagerly builds the derived lookup tables so that clones handed to
+// concurrent owners share them read-only instead of each building its own.
+func (c *Circuit) Prepare() {
+	c.ensureDepths()
+	c.ensureIndex()
+}
+
+func (c *Circuit) ensureDepths() {
+	if len(c.depths) == len(c.Paths) {
+		return
+	}
+	c.depths = make([]float64, len(c.Paths))
+	for i := range c.Paths {
+		c.depths[i] = c.Paths[i].Depth()
+	}
+}
+
+func (c *Circuit) ensureIndex() {
+	if c.byName != nil && c.idxLen == len(c.Paths) {
+		return
+	}
+	c.byName = make(map[string]int, len(c.Paths))
+	for i := range c.Paths {
+		if _, dup := c.byName[c.Paths[i].Name]; !dup {
+			c.byName[c.Paths[i].Name] = i
+		}
+	}
+	c.idxLen = len(c.Paths)
+}
+
+// unitDelay is Tech.Delay(v) through the per-circuit memo. math.Pow is
+// deterministic, so the cached value is bit-for-bit the direct formula.
+func (c *Circuit) unitDelay(v float64) float64 {
+	if v <= c.Tech.Vth {
+		return math.Inf(1)
+	}
+	bits := math.Float64bits(v)
+	h := (bits * 0x9E3779B97F4A7C15) >> (64 - delayCacheBits)
+	if c.dcKeys[h] == bits {
+		return c.dcVals[h]
+	}
+	d := c.Tech.Delay(v)
+	c.dcKeys[h] = bits
+	c.dcVals[h] = d
+	return d
 }
 
 // Analysis is the static-timing result of one path at one operating point.
@@ -126,7 +217,7 @@ func (a Analysis) Safe() bool { return a.SlackPS >= 0 }
 // supply voltage (V).
 func (c *Circuit) Analyze(p Path, freqGHz, voltageV float64) Analysis {
 	tclk := 1000.0 / freqGHz // ps
-	unit := c.Tech.Delay(voltageV)
+	unit := c.unitDelay(voltageV)
 	arrival := p.Depth() * unit
 	required := tclk - p.SetupPS - c.EpsPS
 	return Analysis{
@@ -143,20 +234,40 @@ func (c *Circuit) Analyze(p Path, freqGHz, voltageV float64) Analysis {
 // WorstSlack returns the minimum slack across all paths at the operating
 // point, along with the analysis of the limiting path. It returns an error
 // if the circuit has no paths.
+//
+// This is the characterizer/guard inner loop: it evaluates the unit delay
+// once through the memo, scans precomputed depths, and allocates nothing.
+// The arithmetic mirrors Analyze operation for operation, so the result is
+// bit-for-bit the minimum of the per-path Analyze calls (strict <, first
+// minimum wins, matching the historical scan).
 func (c *Circuit) WorstSlack(freqGHz, voltageV float64) (Analysis, error) {
 	if len(c.Paths) == 0 {
 		return Analysis{}, errors.New("timing: circuit has no paths")
 	}
-	var worst Analysis
-	first := true
-	for _, p := range c.Paths {
-		a := c.Analyze(p, freqGHz, voltageV)
-		if first || a.SlackPS < worst.SlackPS {
-			worst = a
-			first = false
+	c.ensureDepths()
+	tclk := 1000.0 / freqGHz // ps
+	unit := c.unitDelay(voltageV)
+	wi := 0
+	var worst float64
+	for i := range c.Paths {
+		required := tclk - c.Paths[i].SetupPS - c.EpsPS
+		slack := required - c.depths[i]*unit
+		if i == 0 || slack < worst {
+			worst, wi = slack, i
 		}
 	}
-	return worst, nil
+	p := c.Paths[wi]
+	arrival := c.depths[wi] * unit
+	required := tclk - p.SetupPS - c.EpsPS
+	return Analysis{
+		Path:       p,
+		FreqGHz:    freqGHz,
+		VoltageV:   voltageV,
+		TclkPS:     tclk,
+		ArrivalPS:  arrival,
+		RequiredPS: required,
+		SlackPS:    required - arrival,
+	}, nil
 }
 
 // FaultProbability converts a path's slack into the probability that one
@@ -166,6 +277,9 @@ func (c *Circuit) WorstSlack(freqGHz, voltageV float64) (Analysis, error) {
 // Phi(-s/sigma).
 //
 // With zero sigma the model is a hard threshold (fault iff slack < 0).
+//
+// Results are memoized per slack bit pattern; erfc is deterministic, so the
+// cached probability is bit-for-bit the direct evaluation.
 func (c *Circuit) FaultProbability(a Analysis) float64 {
 	if c.JitterSigmaPS <= 0 {
 		if a.SlackPS < 0 {
@@ -173,7 +287,16 @@ func (c *Circuit) FaultProbability(a Analysis) float64 {
 		}
 		return 0
 	}
-	return normalCDF(-a.SlackPS / c.JitterSigmaPS)
+	bits := math.Float64bits(a.SlackPS)
+	h := (bits * 0x9E3779B97F4A7C15) >> (64 - delayCacheBits)
+	if c.fpSet[h] && c.fpKeys[h] == bits {
+		return c.fpVals[h]
+	}
+	p := normalCDF(-a.SlackPS / c.JitterSigmaPS)
+	c.fpKeys[h] = bits
+	c.fpVals[h] = p
+	c.fpSet[h] = true
+	return p
 }
 
 // normalCDF is the standard normal cumulative distribution function.
@@ -258,12 +381,13 @@ func (c *Circuit) Validate() error {
 	return nil
 }
 
-// PathByName returns the named path, or false.
+// PathByName returns the named path, or false. Lookups go through a lazily
+// built name index (first occurrence wins, as the old linear scan did).
 func (c *Circuit) PathByName(name string) (Path, bool) {
-	for _, p := range c.Paths {
-		if p.Name == name {
-			return p, true
-		}
+	c.ensureIndex()
+	i, ok := c.byName[name]
+	if !ok {
+		return Path{}, false
 	}
-	return Path{}, false
+	return c.Paths[i], true
 }
