@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo
+.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,15 @@ metrics-demo:
 	@echo
 	@echo "== first events"
 	@head -5 events.jsonl
+
+# Causal-trace demo: the same attack-vs-guard run with the SLO watchdog
+# enabled, exporting the span trace as Chrome trace JSON (open trace.json
+# at https://ui.perfetto.dev) and as a folded flamegraph (feed
+# trace.folded to flamegraph.pl or speedscope). Exits non-zero if the
+# guard misses an SLO.
+trace-demo:
+	$(GO) run ./cmd/plugvolt-guard -window 10ms -slo \
+		-trace-out trace.json -folded-out trace.folded
+	@echo
+	@echo "== top folded stacks by self time"
+	@sort -t' ' -k2 -rn trace.folded | head -8

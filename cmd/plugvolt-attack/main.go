@@ -15,6 +15,7 @@ import (
 
 	"plugvolt"
 	"plugvolt/internal/attack"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/defense"
 	"plugvolt/internal/report"
 	"plugvolt/internal/sim"
@@ -45,7 +46,12 @@ func main() {
 		metrics = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the matrix ("-" = stdout)`)
 		events  = flag.String("events-out", "", `write the JSONL event journal here after the matrix ("-" = stdout)`)
 	)
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-attack")
+		return
+	}
 
 	attackNames := []string{*atkName}
 	defenseNames := []string{*defName}
@@ -57,7 +63,7 @@ func main() {
 	}
 
 	clock := &campaignClock{}
-	tel := telemetry.NewSet(clock.now, telemetry.DefaultJournalCap)
+	tel := telemetry.NewSet(clock.now, telemetry.DefaultJournalCap, *seed)
 	var results []*attack.Result
 	for _, dn := range defenseNames {
 		for _, an := range attackNames {

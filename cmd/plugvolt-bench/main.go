@@ -12,6 +12,11 @@
 //
 //	go test -bench . -count 5 ./... | plugvolt-bench -o BENCH_1.json
 //	plugvolt-bench -compare BENCH_0.json BENCH_1.json
+//	plugvolt-bench -compare -match Fig2 -fail-over 20 BENCH_1.json NOW.json
+//
+// With -fail-over the comparison becomes a CI gate: exit status 4 when any
+// benchmark selected by -match regresses its mean ns/op by more than the
+// given percentage.
 package main
 
 import (
@@ -21,9 +26,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"plugvolt/internal/buildinfo"
 )
 
 // Artifact is the on-disk benchmark record. Raw preserves the exact
@@ -49,16 +57,34 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "write the JSON artifact to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two artifacts: plugvolt-bench -compare OLD.json NEW.json")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit 4 if any matched benchmark's mean ns/op regresses by more than this percentage (0 = report only)")
+	match := flag.String("match", "", "with -compare: regexp restricting which benchmarks the -fail-over gate applies to (default all)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-bench")
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: plugvolt-bench -compare OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: plugvolt-bench -compare [-fail-over PCT] [-match RE] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		gate, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plugvolt-bench: -match:", err)
+			os.Exit(2)
+		}
+		regressed, err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver, gate)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
 			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "plugvolt-bench: %d benchmark(s) regressed beyond %.1f%%: %s\n",
+				len(regressed), *failOver, strings.Join(regressed, ", "))
+			os.Exit(4)
 		}
 		return
 	}
@@ -143,16 +169,18 @@ func parseBenchLine(line string) (Result, bool) {
 }
 
 // compareArtifacts prints per-benchmark mean ns/op deltas between two
-// artifacts. It is a quick gate for CI and local runs; use benchstat on the
-// raw fields for a statistically grounded comparison.
-func compareArtifacts(w io.Writer, oldPath, newPath string) error {
+// artifacts and, when failOver > 0, returns the names matched by gate whose
+// mean regressed beyond that percentage. It is a quick gate for CI and
+// local runs; use benchstat on the raw fields for a statistically grounded
+// comparison.
+func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, gate *regexp.Regexp) ([]string, error) {
 	oldArt, err := load(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newArt, err := load(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	oldMeans := means(oldArt)
 	newMeans := means(newArt)
@@ -164,14 +192,21 @@ func compareArtifacts(w io.Writer, oldPath, newPath string) error {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
 	}
+	var regressed []string
 	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		o, n := oldMeans[name], newMeans[name]
-		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%\n", name, o, n, (n-o)/o*100)
+		delta := (n - o) / o * 100
+		mark := ""
+		if failOver > 0 && delta > failOver && (gate == nil || gate.MatchString(name)) {
+			regressed = append(regressed, name)
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%%s\n", name, o, n, delta, mark)
 	}
-	return nil
+	return regressed, nil
 }
 
 func load(path string) (*Artifact, error) {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The committed BENCH_<n>.json artifacts must stay schema-equal: same
+// top-level shape, same context fields, ns/op on every row, and a raw field
+// whose benchstat rows cover every parsed benchmark (the drift this guards
+// against: an older baseline whose raw text lacked the rows the harness now
+// emits, silently breaking `benchstat old.txt new.txt`).
+
+func repoArtifacts(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected at least BENCH_0.json and BENCH_1.json, got %v", paths)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// schema reduces an artifact to its comparable shape.
+func schema(t *testing.T, art *Artifact) string {
+	t.Helper()
+	ctx := make([]string, 0, len(art.Context))
+	for k := range art.Context {
+		ctx = append(ctx, k)
+	}
+	sort.Strings(ctx)
+	for _, b := range art.Benchmarks {
+		if b.Name == "" || b.Iterations <= 0 {
+			t.Errorf("malformed benchmark row %+v", b)
+		}
+		if _, ok := b.Metrics["ns/op"]; !ok {
+			t.Errorf("row %s lacks ns/op", b.Name)
+		}
+	}
+	return fmt.Sprintf("context[%s] benchmarks[name iterations metrics(ns/op)] raw[%t]",
+		strings.Join(ctx, " "), art.Raw != "")
+}
+
+func TestCommittedArtifactsSchemaEqual(t *testing.T) {
+	paths := repoArtifacts(t)
+	var ref string
+	for _, p := range paths {
+		art, err := load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(art.Benchmarks) == 0 {
+			t.Fatalf("%s: no benchmark rows", p)
+		}
+		s := schema(t, art)
+		if ref == "" {
+			ref = s
+			continue
+		}
+		if s != ref {
+			t.Errorf("%s schema %q != %s schema %q", p, s, paths[0], ref)
+		}
+	}
+}
+
+func TestRawFieldCoversEveryBenchmark(t *testing.T) {
+	// The benchstat contract: every parsed row exists verbatim in raw, and
+	// re-parsing raw yields exactly the same rows.
+	for _, p := range repoArtifacts(t) {
+		art, err := load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		reparsed, err := parse(strings.NewReader(art.Raw))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", p, err)
+		}
+		if len(reparsed.Benchmarks) != len(art.Benchmarks) {
+			t.Fatalf("%s: raw has %d benchmark rows, parsed view has %d — raw is stale",
+				p, len(reparsed.Benchmarks), len(art.Benchmarks))
+		}
+		for i, b := range art.Benchmarks {
+			if reparsed.Benchmarks[i].Name != b.Name {
+				t.Fatalf("%s: row %d: raw says %s, parsed view says %s",
+					p, i, reparsed.Benchmarks[i].Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestBaselinesShareBenchmarkSet(t *testing.T) {
+	// The whole point of numbered baselines is longitudinal comparison:
+	// every artifact must cover the same benchmark names.
+	paths := repoArtifacts(t)
+	nameSet := func(art *Artifact) string {
+		set := map[string]bool{}
+		for _, b := range art.Benchmarks {
+			set[b.Name] = true
+		}
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return strings.Join(names, ",")
+	}
+	var ref, refPath string
+	for _, p := range paths {
+		art, err := load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		ns := nameSet(art)
+		if ref == "" {
+			ref, refPath = ns, p
+			continue
+		}
+		if ns != ref {
+			t.Errorf("%s and %s cover different benchmarks:\n%s\nvs\n%s", p, refPath, ns, ref)
+		}
+	}
+}
+
+func TestCompareGateFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, nsop string) string {
+		p := filepath.Join(dir, name)
+		doc := fmt.Sprintf(`{"context":{},"benchmarks":[
+			{"name":"BenchmarkFig2SkyLakeCharacterization","iterations":300,"metrics":{"ns/op":%s}},
+			{"name":"BenchmarkOther","iterations":300,"metrics":{"ns/op":100}}],"raw":"x"}`, nsop)
+		if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", "1000")
+	newP := write("new.json", "1300") // +30% on Fig2, Other unchanged
+
+	var sb strings.Builder
+	regressed, err := compareArtifacts(&sb, oldP, newP, 20, regexp.MustCompile("Fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "Fig2") {
+		t.Fatalf("regressed = %v, want the Fig2 benchmark", regressed)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report does not mark the regression:\n%s", sb.String())
+	}
+
+	// Under the threshold: quiet.
+	okP := write("ok.json", "1100") // +10%
+	regressed, err = compareArtifacts(&sb, oldP, okP, 20, regexp.MustCompile("Fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("within-threshold run flagged: %v", regressed)
+	}
+
+	// The gate regexp scopes enforcement: Other regressing 30% is reported
+	// but not fatal when the gate only watches Fig2.
+	otherP := write("other.json", "1000")
+	doc := `{"context":{},"benchmarks":[
+		{"name":"BenchmarkFig2SkyLakeCharacterization","iterations":300,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkOther","iterations":300,"metrics":{"ns/op":200}}],"raw":"x"}`
+	if err := os.WriteFile(otherP, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regressed, err = compareArtifacts(&sb, oldP, otherP, 20, regexp.MustCompile("Fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("out-of-scope regression gated: %v", regressed)
+	}
+}

@@ -18,11 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
 
 	"plugvolt"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/core"
 	"plugvolt/internal/cpu"
+	"plugvolt/internal/obs"
 	"plugvolt/internal/report"
+	"plugvolt/internal/sim"
 )
 
 func main() {
@@ -38,12 +43,43 @@ func main() {
 		workers  = flag.Int("workers", 0, "frequency-row shards swept in parallel (0 = GOMAXPROCS); results are identical for any value")
 		metrics  = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the sweep ("-" = stdout)`)
 		events   = flag.String("events-out", "", `write the JSONL event journal here after the sweep ("-" = stdout)`)
+		listen   = flag.String("listen", "", "serve /metrics /events /traces /healthz on this address during the sweep; blocks after the sweep until interrupted")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-characterize")
+		return
+	}
 
 	sys, err := plugvolt.NewSystem(*cpuName, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	buildinfo.Register(sys.Telemetry.Registry())
+	if *listen != "" {
+		// The sharded sweep publishes into the shared telemetry set from the
+		// merge loop; the lock serializes server reads against it.
+		var mu sync.Mutex
+		srv := &obs.Server{
+			Telemetry: sys.Telemetry,
+			Clock:     func() sim.Time { return sys.Platform.Sim.Now() },
+			Lock:      &mu,
+		}
+		httpSrv, addr, err := srv.Start(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer httpSrv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", addr)
+		// After the sweep (and its reports) finish, keep serving until ^C so
+		// the final metrics and trace can be pulled.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "sweep done; serving until interrupted (^C to exit)")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}()
 	}
 	cfg := plugvolt.QuickSweep()
 	if *paper {

@@ -14,13 +14,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"plugvolt"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
+	"plugvolt/internal/obs"
 	"plugvolt/internal/report"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/slo"
 	"plugvolt/internal/trace"
 	"plugvolt/internal/victim"
 )
@@ -35,13 +39,46 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the run ("-" = stdout)`)
 		eventsOut  = flag.String("events-out", "", `write the JSONL event journal here after the run ("-" = stdout)`)
 		tracePath  = flag.String("trace", "", `record the victim core's operating-point timeline and dump it as CSV here ("-" = stdout)`)
+		traceOut   = flag.String("trace-out", "", `write the causal span trace as Chrome trace JSON here ("-" = stdout); load in Perfetto`)
+		foldedOut  = flag.String("folded-out", "", `write the span trace in folded flamegraph format here ("-" = stdout)`)
+		listen     = flag.String("listen", "", `serve /metrics /events /traces /healthz /debug/pprof on this address (e.g. :8080) while the experiment runs`)
+		sloCheck   = flag.Bool("slo", false, "evaluate the guard SLO rules after the run; exit 3 on violation")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-guard")
+		return
+	}
 
 	sys, err := plugvolt.NewSystem(*cpuName, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	buildinfo.Register(sys.Telemetry.Registry())
+
+	// The exposition server answers from its own goroutines while main
+	// drives the (single-threaded) simulator, so main holds mu while the
+	// simulation advances and the server locks it per request; the attack
+	// loop releases it briefly between chunks so requests drain.
+	var mu sync.Mutex
+	var srv *obs.Server
+	if *listen != "" {
+		srv = &obs.Server{
+			Telemetry: sys.Telemetry,
+			Collect:   sys.CollectTelemetry,
+			Clock:     func() sim.Time { return sys.Platform.Sim.Now() },
+			Lock:      &mu,
+		}
+		httpSrv, addr, err := srv.Start(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer httpSrv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", addr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
 	fmt.Printf("== %s (%s, microcode %s)\n", sys.Platform.Spec.Name,
 		sys.Platform.Spec.Codename, sys.Platform.Spec.Microcode)
 
@@ -63,8 +100,23 @@ func main() {
 	}
 	fmt.Printf("-- S2: kernel module %q loaded, polling every %v\n", "plug_your_volt", *poll)
 
-	// Live adversary: rewrite an unsafe offset on core 1 continually.
+	// The watchdog turns the paper's temporal guarantee into checkable
+	// rules: its predicate classifies a mailbox write against the grid's
+	// unsafe boundary at the core's current frequency.
 	p := sys.Platform
+	watchdog := &slo.Watchdog{
+		Tracer:  sys.Telemetry.Spans(),
+		Journal: sys.Telemetry.Events(),
+		Rules:   slo.DefaultRules(cfg.PollPeriod),
+		Unsafe: func(core, offsetMV int) bool {
+			return unsafe.Contains(p.FreqKHz(core), offsetMV)
+		},
+	}
+	if srv != nil {
+		srv.Watchdog = watchdog
+	}
+
+	// Live adversary: rewrite an unsafe offset on core 1 continually.
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		rec, err = trace.NewRecorder(p.Core(1), 5*sim.Microsecond)
@@ -85,6 +137,10 @@ func main() {
 	faults := 0
 	deadline := p.Sim.Now() + sim.Duration(window.Nanoseconds())*sim.Nanosecond
 	for p.Sim.Now() < deadline {
+		// Yield the simulator lock between chunks so a live exposition
+		// server can answer mid-run.
+		mu.Unlock()
+		mu.Lock()
 		p.Sim.RunFor(200 * sim.Microsecond)
 		loop, err := victim.NewIMulLoop(p.Core(1), 100_000)
 		if err != nil {
@@ -113,6 +169,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace (%d samples) written to %s\n", rec.Len(), *tracePath)
 		}
 	}
+
+	// Evaluate the SLO before dumping the journal so violations land in the
+	// events output.
+	sloFailed := false
+	if *sloCheck {
+		rep := watchdog.Evaluate(p.Sim.Now())
+		rep.EmitJournal(sys.Telemetry.Events())
+		fmt.Println("\n-- SLO watchdog")
+		fmt.Print(rep.Summary())
+		sloFailed = !rep.OK()
+	}
+
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, sys.Telemetry.Spans().WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		if *traceOut != "-" {
+			fmt.Fprintf(os.Stderr, "span trace (%d spans) written to %s\n",
+				sys.Telemetry.Spans().Len(), *traceOut)
+		}
+	}
+	if *foldedOut != "" {
+		if err := writeTo(*foldedOut, sys.Telemetry.Spans().WriteFolded); err != nil {
+			fatal(err)
+		}
+	}
 	if err := sys.DumpTelemetry(*metricsOut, *eventsOut); err != nil {
 		fatal(err)
 	}
@@ -128,6 +210,9 @@ func main() {
 			{Deployment: "clamp MSR (Sec. 5.2)", WorstCase: "0",
 				Note: "offset clamped to MSR_VOLTAGE_OFFSET_LIMIT in hardware"},
 		})
+	}
+	if sloFailed {
+		os.Exit(3)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"plugvolt"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/core"
 	"plugvolt/internal/report"
 	"plugvolt/internal/sim"
@@ -29,7 +30,12 @@ func main() {
 		metrics  = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the run ("-" = stdout)`)
 		events   = flag.String("events-out", "", `write the JSONL event journal here after the run ("-" = stdout)`)
 	)
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-overhead")
+		return
+	}
 	if *sweep {
 		runSweep(*cpuName, *seed, *perCore, *metrics, *events)
 		return

@@ -27,6 +27,7 @@ import (
 
 	"plugvolt"
 	"plugvolt/internal/attack"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/core"
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/defense"
@@ -43,7 +44,12 @@ var (
 )
 
 func main() {
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-report")
+		return
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"plugvolt"
+	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/trace"
@@ -27,7 +28,12 @@ func main() {
 		unguarded = flag.Bool("unguarded", false, "run the control experiment without the module")
 		csvPath   = flag.String("csv", "", "write the sample timeline to this CSV file")
 	)
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-trace")
+		return
+	}
 
 	sys, err := plugvolt.NewSystem(*cpuName, *seed)
 	if err != nil {

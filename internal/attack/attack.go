@@ -26,6 +26,7 @@ import (
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
+	"plugvolt/internal/telemetry/span"
 	"plugvolt/internal/victim"
 )
 
@@ -38,18 +39,35 @@ type campaignTel struct {
 	blocked *telemetry.Counter
 	faults  *telemetry.Counter
 	crashes *telemetry.Counter
+	spans   *span.Tracer
+	// campaign is the open span covering the whole Run; attack steps parent
+	// under it in the causal trace.
+	campaign *span.Active
 }
 
 func newCampaignTel(env *defense.Env, attackName, defName string) *campaignTel {
 	reg := env.Telemetry.Registry()
 	lbl := telemetry.Labels{"attack": attackName, "defense": defName}
-	return &campaignTel{
+	t := &campaignTel{
 		set:     env.Telemetry,
 		writes:  reg.Counter("attack_mailbox_writes_total", "OC mailbox writes issued by the campaign", lbl),
 		blocked: reg.Counter("attack_blocked_writes_total", "mailbox writes rejected by the active defense", lbl),
 		faults:  reg.Counter("attack_faults_total", "corrupted victim results observed by the campaign", lbl),
 		crashes: reg.Counter("attack_crashes_total", "machine crashes caused by the campaign", lbl),
+		spans:   env.Telemetry.Spans(),
 	}
+	if t.spans != nil {
+		t.campaign = t.spans.Start("attack", "campaign_"+attackName,
+			map[string]any{"attack": attackName, "defense": defName})
+	}
+	return t
+}
+
+// done closes the campaign span (virtual-clock duration: campaigns consume
+// real simulated time). Call via defer from every Run.
+func (t *campaignTel) done(r *Result) {
+	t.campaign.SetAttr("succeeded", r.Succeeded)
+	t.campaign.End()
 }
 
 // fault records n observed faults and journals the observation site.
@@ -130,10 +148,22 @@ func pinFrequency(env *defense.Env, coreIdx, khz int) error {
 }
 
 // writeOffset issues the Algorithm 1 mailbox write, tracking block/accept.
+// With tracing attached the write runs inside an "attack_write" span, so the
+// register-level mailbox_write outcome is causally attributed to the attack
+// step (and transitively to the campaign) rather than to the guard.
 func writeOffset(env *defense.Env, r *Result, t *campaignTel, coreIdx, offsetMV int) bool {
 	r.MailboxWrites++
 	t.writes.Inc()
-	if err := env.Platform.WriteOffsetViaMSR(coreIdx, offsetMV, msr.PlaneCore); err != nil {
+	var sp *span.Active
+	if t.spans != nil {
+		sp = t.spans.Start("attack", "attack_write", map[string]any{
+			"core": coreIdx, "offset_mv": offsetMV,
+		})
+	}
+	err := env.Platform.WriteOffsetViaMSR(coreIdx, offsetMV, msr.PlaneCore)
+	sp.SetAttr("blocked", err != nil)
+	sp.End()
+	if err != nil {
 		r.BlockedWrites++
 		t.blocked.Inc()
 		return false
@@ -193,6 +223,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
 	tel := newCampaignTel(env, r.Attack, defName)
+	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -300,6 +331,7 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
 	tel := newCampaignTel(env, r.Attack, defName)
+	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 
@@ -475,6 +507,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
 	tel := newCampaignTel(env, r.Attack, defName)
+	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
 

@@ -1,0 +1,107 @@
+// Package buildinfo surfaces the binary's module version and VCS stamp —
+// the reproducibility metadata every exported artifact should carry. The
+// paper's grids and benchmark baselines are only comparable when the code
+// that produced them is identified; this package reads the information the
+// Go linker already embeds (runtime/debug.ReadBuildInfo) so no build-system
+// plumbing is needed.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"plugvolt/internal/telemetry"
+)
+
+// Info is the subset of the embedded build metadata the tools expose.
+type Info struct {
+	// Module is the main module path ("plugvolt").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for tree builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Time are the VCS stamp when the build had one.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Get reads the embedded build information. It degrades gracefully: a
+// binary built without module support still reports the Go version.
+func Get() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// short truncates a revision hash for display.
+func short(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// String renders a one-line identification.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s (%s)", orDefault(i.Module, "plugvolt"),
+		orDefault(i.Version, "(devel)"), i.GoVersion)
+	if i.Revision != "" {
+		s += fmt.Sprintf(" rev %s", short(i.Revision))
+		if i.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// Fprint writes the `-version` output for the named tool.
+func Fprint(w io.Writer, tool string) {
+	i := Get()
+	fmt.Fprintf(w, "%s: %s\n", tool, i)
+	if i.Time != "" {
+		fmt.Fprintf(w, "built: %s\n", i.Time)
+	}
+}
+
+// Register publishes the build identity as the conventional
+// plugvolt_build_info gauge: constant value 1 with the identifying fields
+// as labels, so PromQL joins can annotate every other series with the
+// version that produced it.
+func Register(reg *telemetry.Registry) {
+	i := Get()
+	reg.Gauge("plugvolt_build_info",
+		"build identity; constant 1, metadata in labels",
+		telemetry.Labels{
+			"module":     orDefault(i.Module, "plugvolt"),
+			"version":    orDefault(i.Version, "(devel)"),
+			"go_version": i.GoVersion,
+			"revision":   short(i.Revision),
+		}).Set(1)
+}

@@ -1,0 +1,55 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
+)
+
+func TestGetReportsGoVersion(t *testing.T) {
+	i := Get()
+	if i.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	if !strings.Contains(i.String(), i.GoVersion) {
+		t.Fatalf("String() %q omits go version", i.String())
+	}
+}
+
+func TestFprint(t *testing.T) {
+	var sb strings.Builder
+	Fprint(&sb, "plugvolt-guard")
+	if !strings.HasPrefix(sb.String(), "plugvolt-guard: ") {
+		t.Fatalf("output %q", sb.String())
+	}
+}
+
+func TestRegisterPublishesGauge(t *testing.T) {
+	now := sim.Time(0)
+	reg := telemetry.NewRegistry(func() sim.Time { return now })
+	Register(reg)
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "plugvolt_build_info{") || !strings.Contains(out, "} 1") {
+		t.Fatalf("build info gauge missing:\n%s", out)
+	}
+	for _, label := range []string{"module=", "version=", "go_version=", "revision="} {
+		if !strings.Contains(out, label) {
+			t.Errorf("label %s missing:\n%s", label, out)
+		}
+	}
+}
+
+func TestShort(t *testing.T) {
+	if got := short("0123456789abcdef"); got != "0123456789ab" {
+		t.Fatalf("short = %q", got)
+	}
+	if got := short("abc"); got != "abc" {
+		t.Fatalf("short = %q", got)
+	}
+}

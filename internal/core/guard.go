@@ -8,6 +8,7 @@ import (
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
+	"plugvolt/internal/telemetry/span"
 )
 
 // ModuleName is the polling countermeasure's kernel-module name; SGX
@@ -114,6 +115,11 @@ type Guard struct {
 	interventionsC []*telemetry.Counter
 	anomaliesC     []*telemetry.Counter
 	pollLatency    *telemetry.Histogram
+	// spans is the causal tracer (nil when telemetry is disabled): every
+	// poll opens a "guard_poll" span and every forced rewrite a
+	// "guard_intervention" span enclosing the corrective wrmsr, which is the
+	// causal chain the SLO watchdog and the e2e trace test check.
+	spans *span.Tracer
 }
 
 // pollLatencyBuckets bound the per-core poll cost histogram in seconds. A
@@ -238,6 +244,7 @@ func (g *Guard) instrument(numCores int) {
 	g.pollLatency = reg.Histogram("guard_poll_latency_seconds",
 		"CPU cost of one per-core poll (MSR reads plus any intervention write)",
 		pollLatencyBuckets, nil)
+	g.spans = tel.Spans()
 	mode := "single-thread"
 	if g.cfg.PerCoreThreads {
 		mode = "per-core"
@@ -276,9 +283,14 @@ func (g *Guard) poll(t *kernel.KThread) {
 func (g *Guard) pollOne(t *kernel.KThread, core int) {
 	g.Checks++
 	busyBefore := t.Busy
+	var sp *span.Active
+	if g.spans != nil {
+		sp = g.spans.Start("guard", "guard_poll", map[string]any{"core": core})
+	}
 	defer func() {
 		// The poll's cost is the CPU time it charged through the kthread —
 		// virtual accounting, so observing it cannot perturb the run.
+		sp.EndWithCost(t.Busy - busyBefore)
 		if g.pollLatency != nil {
 			g.pollLatency.Observe(telemetry.Seconds(t.Busy - busyBefore))
 		}
@@ -306,9 +318,22 @@ func (g *Guard) pollOne(t *kernel.KThread, core int) {
 	// Apply the conservative margin: a state within MarginMV of the
 	// measured boundary is treated as unsafe.
 	if g.unsafe.Contains(freqKHz, offsetMV-g.cfg.MarginMV) {
-		// Force the system back into a safe state via MSR 0x150.
-		safe := msr.EncodeVoltageOffset(g.cfg.SafeOffsetMV, msr.PlaneCore)
-		if err := t.WriteMSR(core, msr.OCMailbox, safe); err == nil {
+		// Force the system back into a safe state via MSR 0x150. The
+		// intervention span stays open across the write so the corrective
+		// wrmsr (and its register-level mailbox_write outcome) is causally
+		// enclosed by the intervention in the trace.
+		var isp *span.Active
+		if g.spans != nil {
+			isp = g.spans.Start("guard", "guard_intervention", map[string]any{
+				"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
+				"safe_mv": g.cfg.SafeOffsetMV,
+			})
+		}
+		writeBusy := t.Busy
+		err := t.WriteMSR(core, msr.OCMailbox, safeCommand(g.cfg.SafeOffsetMV))
+		isp.SetAttr("ok", err == nil)
+		isp.EndWithCost(t.Busy - writeBusy)
+		if err == nil {
 			g.Interventions++
 			g.LastIntervention = g.k.Sim().Now()
 			if g.interventionsC != nil {
@@ -320,6 +345,11 @@ func (g *Guard) pollOne(t *kernel.KThread, core int) {
 			})
 		}
 	}
+}
+
+// safeCommand encodes the mailbox write that forces the safe offset.
+func safeCommand(safeOffsetMV int) uint64 {
+	return msr.EncodeVoltageOffset(safeOffsetMV, msr.PlaneCore)
 }
 
 // crossCheck compares the live rail against the (ratio, offset) implied

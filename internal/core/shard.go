@@ -235,6 +235,17 @@ func (o *sweepObserver) row(freqKHz int, r rowResult) {
 		"safe": perClass[Safe], "fault": perClass[Fault], "crash": perClass[Crash],
 		"reboots": r.reboots, "virtual_ps": int64(r.virtual),
 	})
+	// One causal span per merged row. The track is per-frequency (not
+	// per-worker) and the duration is the row platform's own virtual time,
+	// so the exported trace is byte-identical for any worker count and any
+	// merge arrival order — the worker attribution lives only in the
+	// explicitly scheduler-dependent metrics above.
+	o.tel.Spans().Complete(fmt.Sprintf("characterize/%d", freqKHz), "row",
+		0, r.virtual, map[string]any{
+			"freq_khz": freqKHz, "cells": len(r.row),
+			"safe": perClass[Safe], "fault": perClass[Fault], "crash": perClass[Crash],
+			"reboots": r.reboots,
+		})
 }
 
 // finish publishes the end-of-sweep aggregates.

@@ -24,6 +24,7 @@ import (
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry/span"
 	"plugvolt/internal/timing"
 	"plugvolt/internal/vr"
 )
@@ -402,6 +403,10 @@ type Platform struct {
 	Reboots int
 
 	seed int64
+
+	// spans is the causal tracer attached to every core's MSR file; kept
+	// here so Reboot can re-attach it after rebuilding the files.
+	spans *span.Tracer
 }
 
 // DefaultRebootTime approximates a fast reboot cycle.
@@ -557,9 +562,22 @@ func (p *Platform) Reboot() {
 		c.pendingUp.Cancel()
 		c.pendingUp = sim.Event{}
 		c.wireMSRs()
+		// The rebuilt register file must keep observing mailbox writes: a
+		// crash-reboot cycle mid-experiment would otherwise silently detach
+		// the causal trace.
+		c.MSRs.SetSpanTracer(p.spans)
 	}
 	p.Reboots++
 	p.Sim.RunFor(p.RebootTime)
+}
+
+// SetSpanTracer attaches the causal span tracer to every core's MSR file
+// (and keeps it attached across reboots). Nil detaches.
+func (p *Platform) SetSpanTracer(tr *span.Tracer) {
+	p.spans = tr
+	for _, c := range p.cores {
+		c.MSRs.SetSpanTracer(tr)
+	}
 }
 
 // MSRFile returns core's MSR file (kernel.Machine interface).

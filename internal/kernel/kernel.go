@@ -200,6 +200,9 @@ type KThread struct {
 
 	k      *Kernel
 	ticker *sim.Ticker
+	// track is the thread's span-tracer timeline name ("kernel/<name>"),
+	// precomputed so the hot rdmsr/wrmsr path never builds strings.
+	track string
 	// Ticks counts completed activations.
 	Ticks uint64
 	// Busy is the total CPU time this thread has charged.
@@ -218,14 +221,24 @@ func (k *Kernel) StartKThread(name string, core int, period sim.Duration, fn fun
 	if period <= 0 {
 		return nil, fmt.Errorf("kernel: kthread %q: period must be positive", name)
 	}
-	t := &KThread{Name: name, Core: core, k: k}
+	t := &KThread{Name: name, Core: core, k: k, track: "kernel/" + name}
 	t.ticker = k.simr.Every(period, func() {
 		t.Ticks++
+		busyBefore := t.Busy
 		t.charge(CostWake, k.Costs.KthreadWake)
 		if k.tel != nil {
 			k.tel.Events().Emit("kthread_wake", map[string]any{
 				"thread": t.Name, "core": t.Core, "tick": t.Ticks,
 			})
+			// The tick span's duration is the CPU time the activation
+			// charged (wake cost plus whatever fn charges), not a clock
+			// delta: kthread work steals time without advancing the clock.
+			sp := k.tel.Spans().StartRoot(t.track, "kthread_tick", map[string]any{
+				"core": t.Core, "thread": t.Name,
+			})
+			fn(t)
+			sp.EndWithCost(t.Busy - busyBefore)
+			return
 		}
 		fn(t)
 	})
@@ -249,13 +262,32 @@ func (t *KThread) charge(kind CostKind, d sim.Duration) {
 func (t *KThread) ReadMSR(core int, addr msr.Addr) (uint64, error) {
 	t.charge(CostRdmsr, t.k.Costs.Rdmsr)
 	t.k.MSRReads++
+	if t.k.tel != nil {
+		sp := t.k.tel.Spans().Start(t.track, "rdmsr", map[string]any{
+			"core": core, "addr": fmt.Sprintf("0x%x", uint32(addr)),
+		})
+		v, err := t.k.hw.MSRFile(core).Read(addr)
+		sp.EndWithCost(t.k.Costs.Rdmsr)
+		return v, err
+	}
 	return t.k.hw.MSRFile(core).Read(addr)
 }
 
-// WriteMSR performs a privileged wrmsr on the target core.
+// WriteMSR performs a privileged wrmsr on the target core. With telemetry
+// attached the write runs inside a "wrmsr" span, so the MSR file's
+// mailbox-write span (and thus any guard intervention above it) encloses the
+// register-level outcome in the causal trace.
 func (t *KThread) WriteMSR(core int, addr msr.Addr, val uint64) error {
 	t.charge(CostWrmsr, t.k.Costs.Wrmsr)
 	t.k.MSRWrites++
+	if t.k.tel != nil {
+		sp := t.k.tel.Spans().Start(t.track, "wrmsr", map[string]any{
+			"core": core, "addr": fmt.Sprintf("0x%x", uint32(addr)),
+		})
+		err := t.k.hw.MSRFile(core).Write(addr, val)
+		sp.EndWithCost(t.k.Costs.Wrmsr)
+		return err
+	}
 	return t.k.hw.MSRFile(core).Write(addr, val)
 }
 

@@ -16,6 +16,8 @@ package msr
 import (
 	"fmt"
 	"math"
+
+	"plugvolt/internal/telemetry/span"
 )
 
 // Addr is an MSR address as used by rdmsr/wrmsr.
@@ -302,6 +304,13 @@ type File struct {
 	// cost model to charge rdmsr/wrmsr time.
 	Reads  uint64
 	Writes uint64
+
+	// spans, when set, receives one causal span per OC-mailbox voltage
+	// write command (the security-relevant wrmsr every DVFS attack and the
+	// guard's rewrite go through), tagged with the decoded offset and the
+	// accepted/blocked/rewritten outcome. Nil (the default, including on the
+	// characterizer's private row platforms) keeps Write allocation-free.
+	spans *span.Tracer
 }
 
 // NewFile builds an MSR file for the given core with the standard registers
@@ -412,6 +421,25 @@ func (f *File) Read(addr Addr) (uint64, error) {
 	return f.vals[i], nil
 }
 
+// SetSpanTracer attaches (or, with nil, detaches) the causal span tracer
+// that observes OC-mailbox voltage write commands on this file. The platform
+// re-applies it when a reboot rebuilds the register file.
+func (f *File) SetSpanTracer(tr *span.Tracer) { f.spans = tr }
+
+// traceMailboxWrite records one mailbox voltage-write span. outcome is
+// "accepted", "rewritten" (a hook transformed the command — clamp or
+// write-ignore) or "blocked" (a hook or the commit stage rejected it, #GP to
+// the writer).
+func (f *File) traceMailboxWrite(proposed uint64, outcome string) {
+	d := DecodeVoltageOffset(proposed)
+	f.spans.Instant(fmt.Sprintf("msr/core%d", f.core), "mailbox_write", map[string]any{
+		"core":      f.core,
+		"offset_mv": d.OffsetMV,
+		"plane":     d.Plane.String(),
+		"outcome":   outcome,
+	})
+}
+
 // Write implements wrmsr, running the register's write hooks.
 func (f *File) Write(addr Addr, val uint64) error {
 	i := f.index(addr)
@@ -425,6 +453,14 @@ func (f *File) Write(addr Addr, val uint64) error {
 	if d.Locked {
 		return &GPFault{Addr: addr, Op: "wrmsr", Why: "MSR locked"}
 	}
+	// Trace only OC-mailbox voltage write commands: the wrmsr at the heart
+	// of every DVFS fault attack and of the guard's corrective rewrite.
+	traced := f.spans != nil && addr == OCMailbox
+	if traced {
+		if dec := DecodeVoltageOffset(val); !dec.Busy || !dec.Write {
+			traced = false // read command or inert write: not a voltage change
+		}
+	}
 	old := f.vals[i]
 	v := val
 	for _, e := range d.hooks {
@@ -432,6 +468,9 @@ func (f *File) Write(addr Addr, val uint64) error {
 		nv, err := e.fn(f, old, v)
 		if err != nil {
 			d.HookStats.Rejects++
+			if traced {
+				f.traceMailboxWrite(val, "blocked")
+			}
 			return err
 		}
 		if nv != v {
@@ -439,12 +478,23 @@ func (f *File) Write(addr Addr, val uint64) error {
 		}
 		v = nv
 	}
+	hookFinal := v
 	if d.Apply != nil {
 		nv, err := d.Apply(f, old, v)
 		if err != nil {
+			if traced {
+				f.traceMailboxWrite(val, "blocked")
+			}
 			return err
 		}
 		v = nv
+	}
+	if traced {
+		outcome := "accepted"
+		if hookFinal != val {
+			outcome = "rewritten"
+		}
+		f.traceMailboxWrite(val, outcome)
 	}
 	// Re-resolve the slot: a hook or Apply may have Declared registers and
 	// relocated the table.

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"plugvolt/internal/sim"
+	"plugvolt/internal/slo"
+	"plugvolt/internal/telemetry"
+)
+
+// fixture builds a server over a populated telemetry set.
+func fixture(t *testing.T) (*Server, *sim.Time) {
+	t.Helper()
+	now := new(sim.Time)
+	clock := func() sim.Time { return *now }
+	set := telemetry.NewSet(clock, 16, 7)
+	set.Registry().Counter("guard_polls_total", "polls", nil).Add(42)
+	set.Registry().Gauge("platform_reboots", "reboots", nil).Set(3)
+	*now = 1 * sim.Millisecond
+	set.Events().Emit("guard_loaded", map[string]any{"period_us": 100})
+	sp := set.Spans().Start("guard", "guard_poll", map[string]any{"core": 0})
+	sp.EndWithCost(500 * sim.Nanosecond)
+	return &Server{Telemetry: set, Clock: clock, Lock: &sync.Mutex{}}, now
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := fixture(t)
+	collected := false
+	srv.Collect = func() { collected = true }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !collected {
+		t.Error("Collect not invoked")
+	}
+	for _, want := range []string{
+		"# TYPE guard_polls_total counter",
+		"guard_polls_total 42",
+		"# TYPE platform_reboots gauge",
+		"platform_reboots 3",
+		"telemetry_journal_dropped_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	srv, _ := fixture(t)
+	for i := 0; i < 5; i++ {
+		srv.Telemetry.Events().Emit("tick", map[string]any{"i": i})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/events")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", n, body)
+	}
+	// Every line must be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+	}
+
+	_, tail := get(t, ts, "/events?n=2")
+	if n := strings.Count(strings.TrimSpace(tail), "\n") + 1; n != 2 {
+		t.Fatalf("tail got %d lines, want 2:\n%s", n, tail)
+	}
+	if code, _ := get(t, ts, "/events?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d, want 400", code)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	srv, _ := fixture(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	code, folded := get(t, ts, "/traces?format=folded")
+	if code != http.StatusOK || !strings.Contains(folded, "guard;guard_poll") {
+		t.Fatalf("folded: status %d body %q", code, folded)
+	}
+	if code, _ := get(t, ts, "/traces?format=svg"); code != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", code)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv, now := fixture(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if h.NowPS != int64(*now) {
+		t.Errorf("now_ps = %d, want %d", h.NowPS, int64(*now))
+	}
+	if h.Build.GoVersion == "" {
+		t.Error("missing build go_version")
+	}
+	if h.Journal.Len != 1 || h.Journal.Cap != 16 {
+		t.Errorf("journal health %+v", h.Journal)
+	}
+	if h.Spans.Len != 1 {
+		t.Errorf("spans health %+v", h.Spans)
+	}
+	if h.SLO != nil {
+		t.Error("unexpected slo section without a watchdog")
+	}
+}
+
+func TestHealthzDegradedOnSLOViolation(t *testing.T) {
+	srv, now := fixture(t)
+	// One poll at 1ms, then silence until 100ms: a stall for the watchdog.
+	*now = 100 * sim.Millisecond
+	srv.Watchdog = &slo.Watchdog{
+		Tracer:  srv.Telemetry.Spans(),
+		Journal: srv.Telemetry.Events(),
+		Rules:   slo.DefaultRules(100 * sim.Microsecond),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if h.Status != "degraded" || h.SLO == nil || h.SLO.OK || len(h.SLO.Violations) == 0 {
+		t.Fatalf("degraded doc wrong: %s", body)
+	}
+}
+
+func TestJournalDropCountSurfaces(t *testing.T) {
+	srv, _ := fixture(t)
+	// Overflow the 16-event journal; drop-newest keeps the first 16.
+	for i := 0; i < 40; i++ {
+		srv.Telemetry.Events().Emit("flood", map[string]any{"i": i})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/healthz")
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Journal.Dropped == 0 {
+		t.Fatalf("healthz does not surface journal drops: %s", body)
+	}
+	// The same count must appear as a counter on /metrics (satellite 1).
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(metrics, "telemetry_journal_dropped_total 25") {
+		t.Fatalf("drop counter missing from metrics:\n%s", metrics)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	srv, _ := fixture(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d", code)
+	}
+	if code, body := get(t, ts, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: status %d body %q", code, body)
+	}
+	if code, _ := get(t, ts, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestStartBindsEphemeralPort(t *testing.T) {
+	srv, _ := fixture(t)
+	httpSrv, addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpSrv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestNilTelemetryServesEmpty(t *testing.T) {
+	srv := &Server{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/events", "/healthz"} {
+		if code, _ := get(t, ts, path); code != http.StatusOK {
+			t.Errorf("%s on empty server: status %d", path, code)
+		}
+	}
+}

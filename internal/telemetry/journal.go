@@ -55,6 +55,9 @@ type Journal struct {
 	cap     int
 	events  []Event
 	dropped uint64
+	// onDrop, when set, runs once per dropped event (outside the journal
+	// lock), letting NewSet surface the loss as a telemetry counter.
+	onDrop func()
 }
 
 // DefaultJournalCap bounds a journal when the caller passes cap <= 0.
@@ -79,12 +82,29 @@ func (j *Journal) Emit(typ string, fields map[string]any) {
 		at = j.clock()
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if len(j.events) >= j.cap {
 		j.dropped++
+		cb := j.onDrop
+		j.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
 		return
 	}
 	j.events = append(j.events, Event{At: at, Type: typ, Fields: fields})
+	j.mu.Unlock()
+}
+
+// OnDrop registers a callback invoked once per event rejected at the cap
+// (after the drop is counted, outside the journal lock). A nil journal or
+// nil callback is a no-op.
+func (j *Journal) OnDrop(fn func()) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.onDrop = fn
+	j.mu.Unlock()
 }
 
 // Len reports the number of retained events.
@@ -141,12 +161,22 @@ func (j *Journal) OfType(typ string) []Event {
 // fields). Byte-identical across identically-seeded runs as long as every
 // emitter is driven by the virtual clock.
 func (j *Journal) WriteJSONL(w io.Writer) error {
+	return j.WriteJSONLTail(w, 0)
+}
+
+// WriteJSONLTail renders the last n retained events as JSONL (n <= 0 means
+// all) — the journal view the observability server's /events endpoint
+// serves.
+func (j *Journal) WriteJSONLTail(w io.Writer, n int) error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	events := append([]Event(nil), j.events...)
 	j.mu.Unlock()
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
 	var buf []byte
 	for _, e := range events {
 		buf = buf[:0]

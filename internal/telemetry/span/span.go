@@ -1,0 +1,362 @@
+// Package span is the causal tracing layer of the telemetry subsystem: a
+// deterministic, virtual-clock span tracer whose output is part of the
+// repository's golden-artifact contract.
+//
+// A span is a named interval on a track (a logical timeline such as "guard",
+// "kernel/plugvolt_guard", "msr/core1" or "attack") with a parent link that
+// records causality: the guard's corrective mailbox write is a child of the
+// intervention that decided it, which is a child of the poll that detected
+// the unsafe operating point, which is a child of the kthread tick that ran
+// the poll. That chain is exactly the temporal safety argument of the paper's
+// countermeasure — the window between an unsafe `wrmsr 0x150` and the guard's
+// rewrite — made machine-checkable (see internal/slo).
+//
+// Determinism rules, mirroring the rest of internal/telemetry:
+//
+//   - Timestamps come from an injected func() sim.Time; wall clocks never
+//     appear. Span durations are either virtual-clock deltas (End) or
+//     explicit CPU-cost charges (EndWithCost) — the latter because kthread
+//     work charges stolen time without advancing the sim clock.
+//   - Span IDs are derived from (seed, track, per-track sequence) via FNV-64a,
+//     never from pointers, goroutine identity or randomness, so two
+//     identically-seeded runs mint identical IDs.
+//   - Exporters (see export.go) sort spans by (start, track, sequence) before
+//     rendering, so export bytes are independent of emission interleaving —
+//     in particular of the characterizer's worker count, provided emitters
+//     use per-row tracks.
+//
+// All methods are nil-receiver safe: instrumented code holds a possibly-nil
+// *Tracer and calls it unconditionally.
+package span
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"plugvolt/internal/sim"
+)
+
+// Clock produces the current virtual time. (*sim.Simulator).Now fits.
+type Clock func() sim.Time
+
+// ID identifies a span. The zero ID means "no span" (used for absent
+// parents).
+type ID uint64
+
+// Span is one completed interval. Spans are immutable once recorded.
+type Span struct {
+	ID     ID
+	Parent ID // zero when the span has no recorded parent
+	Track  string
+	Name   string
+	Start  sim.Time
+	Dur    sim.Duration
+	// Attrs carries span metadata (core index, offset mV, outcome, ...).
+	// Values should be JSON-friendly scalars.
+	Attrs map[string]any
+	// Seq is the span's per-track sequence number; together with Track it
+	// totally orders spans minted on the same track and seeds the ID.
+	Seq uint64
+}
+
+// DefaultCap bounds a tracer when the constructor gets cap <= 0. Spans past
+// the cap are counted as dropped rather than evicting history, matching the
+// journal's drop-newest policy: the opening of an experiment is usually the
+// part worth keeping.
+const DefaultCap = 1 << 16
+
+// Tracer records spans. Construct with NewTracer; a nil *Tracer is a valid
+// no-op sink.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   Clock
+	seed    int64
+	cap     int
+	spans   []Span
+	dropped uint64
+	seqs    map[string]uint64
+	// stack is the scope stack of currently-open span IDs; the top is the
+	// parent of the next span started. The simulation core is single-threaded,
+	// which makes a single stack a sound causality model; the mutex keeps the
+	// race detector happy for concurrent readers (the obs server).
+	stack []ID
+	// counters holds sampled counter tracks ("C" events in the Chrome
+	// export), e.g. the victim rail voltage over time.
+	counters []CounterSample
+}
+
+// CounterSample is one sampled value on a counter track, rendered as a
+// Chrome trace "C" event.
+type CounterSample struct {
+	Track string
+	Name  string
+	At    sim.Time
+	Value float64
+}
+
+// NewTracer builds a tracer stamped by clock, minting IDs from seed, bounded
+// at cap spans (cap <= 0 selects DefaultCap). A nil clock stamps spans at
+// time zero.
+func NewTracer(clock Clock, seed int64, cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Tracer{clock: clock, seed: seed, cap: cap, seqs: map[string]uint64{}}
+}
+
+// now reads the tracer clock.
+func (t *Tracer) now() sim.Time {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// mint allocates the next sequence number on track and derives the span ID
+// from (seed, track, seq). Caller holds t.mu.
+func (t *Tracer) mint(track string) (ID, uint64) {
+	seq := t.seqs[track]
+	t.seqs[track] = seq + 1
+	h := fnv.New64a()
+	var b [8]byte
+	putUint64(&b, uint64(t.seed))
+	h.Write(b[:])
+	h.Write([]byte(track))
+	putUint64(&b, seq)
+	h.Write(b[:])
+	id := ID(h.Sum64())
+	if id == 0 { // reserve zero for "no span"
+		id = 1
+	}
+	return id, seq
+}
+
+func putUint64(b *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// record appends a completed span, honoring the cap. Caller holds t.mu.
+func (t *Tracer) record(s Span) {
+	if len(t.spans) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Active is a span under construction, returned by Start. A nil *Active
+// (from a nil tracer) absorbs all calls.
+type Active struct {
+	t     *Tracer
+	span  Span
+	ended bool
+}
+
+// Start opens a span on track at the current virtual time, parented under
+// the innermost span still open (the scope stack top). Close it with End or
+// EndWithCost; until then it is the parent of any span started beneath it.
+func (t *Tracer) Start(track, name string, attrs map[string]any) *Active {
+	return t.start(track, name, attrs, false)
+}
+
+// StartRoot opens a span like Start but with no parent, regardless of the
+// scope stack. Periodic work that interrupts whatever the simulator happens
+// to be running — a kthread tick firing inside an attack campaign's RunFor —
+// uses this so preemption is not mistaken for causality. Spans started
+// beneath it still parent under it normally.
+func (t *Tracer) StartRoot(track, name string, attrs map[string]any) *Active {
+	return t.start(track, name, attrs, true)
+}
+
+func (t *Tracer) start(track, name string, attrs map[string]any, root bool) *Active {
+	if t == nil {
+		return nil
+	}
+	at := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, seq := t.mint(track)
+	var parent ID
+	if !root {
+		if n := len(t.stack); n > 0 {
+			parent = t.stack[n-1]
+		}
+	}
+	t.stack = append(t.stack, id)
+	return &Active{t: t, span: Span{
+		ID: id, Parent: parent, Track: track, Name: name,
+		Start: at, Attrs: attrs, Seq: seq,
+	}}
+}
+
+// ID reports the active span's ID (zero on nil).
+func (a *Active) ID() ID {
+	if a == nil {
+		return 0
+	}
+	return a.span.ID
+}
+
+// SetAttr attaches or overwrites one attribute before the span ends.
+func (a *Active) SetAttr(key string, value any) {
+	if a == nil || a.ended {
+		return
+	}
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
+	if a.span.Attrs == nil {
+		a.span.Attrs = map[string]any{}
+	}
+	a.span.Attrs[key] = value
+}
+
+// End closes the span with a virtual-clock duration (now - start) and pops
+// it from the scope stack. Ending twice is a no-op.
+func (a *Active) End() {
+	if a == nil || a.ended {
+		return
+	}
+	a.finish(a.t.now() - a.span.Start)
+}
+
+// EndWithCost closes the span with an explicit duration — the CPU cost the
+// work charged — instead of a clock delta. This is how kthread-side spans
+// (polls, rdmsr/wrmsr steps) get nonzero durations: kernel work charges
+// stolen time against the core without advancing the virtual clock, so a
+// clock delta would always read zero.
+func (a *Active) EndWithCost(d sim.Duration) {
+	if a == nil || a.ended {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	a.finish(d)
+}
+
+func (a *Active) finish(d sim.Duration) {
+	a.ended = true
+	a.span.Dur = d
+	t := a.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Pop this span from the scope stack. Out-of-order ends (a parent ended
+	// before a still-open child) are tolerated by unwinding to the span.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == a.span.ID {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	t.record(a.span)
+}
+
+// Complete records an already-finished span in one call, parented under the
+// current scope top. Use it for instantaneous or externally-timed work (an
+// MSR write, a characterization row measured on its own private clock).
+// It returns the minted ID so callers can reference the span.
+func (t *Tracer) Complete(track, name string, start sim.Time, dur sim.Duration, attrs map[string]any) ID {
+	if t == nil {
+		return 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, seq := t.mint(track)
+	var parent ID
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.record(Span{ID: id, Parent: parent, Track: track, Name: name,
+		Start: start, Dur: dur, Attrs: attrs, Seq: seq})
+	return id
+}
+
+// Instant records a zero-duration span at the current virtual time.
+func (t *Tracer) Instant(track, name string, attrs map[string]any) ID {
+	if t == nil {
+		return 0
+	}
+	return t.Complete(track, name, t.now(), 0, attrs)
+}
+
+// Sample records one value on a counter track at the given virtual time,
+// exported as a Chrome trace "C" event (e.g. rail voltage over time).
+func (t *Tracer) Sample(track, name string, at sim.Time, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counters = append(t.counters, CounterSample{Track: track, Name: name, At: at, Value: value})
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Counters returns a copy of the recorded counter samples in emission order.
+func (t *Tracer) Counters() []CounterSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]CounterSample(nil), t.counters...)
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports spans rejected after the cap was reached.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Cap reports the tracer's span bound (0 on nil).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// sorted returns the spans ordered by (Start, Track, Seq) — the canonical
+// export order, total because Seq is unique per track.
+func sorted(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

@@ -1,0 +1,266 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"plugvolt/internal/sim"
+)
+
+// fakeClock is a manually-advanced virtual clock for pure unit tests.
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) clock() sim.Time { return c.now }
+
+// emitSample records a small causal tree:
+//
+//	tick ─ poll ─ rdmsr
+//	            └ intervention ─ write
+func emitSample(tr *Tracer, c *fakeClock) {
+	tick := tr.Start("kernel/guard", "kthread_tick", map[string]any{"core": 0})
+	poll := tr.Start("guard", "guard_poll", map[string]any{"core": 1})
+	tr.Complete("kernel/guard", "rdmsr", c.now, 120*sim.Nanosecond, map[string]any{"addr": "0x198"})
+	iv := tr.Start("guard", "guard_intervention", map[string]any{"core": 1, "offset_mv": -230})
+	tr.Instant("msr/core1", "mailbox_write", map[string]any{"offset_mv": 0, "outcome": "accepted"})
+	iv.EndWithCost(400 * sim.Nanosecond)
+	poll.EndWithCost(900 * sim.Nanosecond)
+	c.now += 100 * sim.Microsecond
+	tick.End()
+}
+
+func TestDeterministicIDsAndParents(t *testing.T) {
+	build := func() *Tracer {
+		c := &fakeClock{}
+		tr := NewTracer(c.clock, 42, 0)
+		emitSample(tr, c)
+		return tr
+	}
+	a, b := build().Spans(), build().Spans()
+	if len(a) != len(b) || len(a) != 5 {
+		t.Fatalf("span counts: %d vs %d (want 5)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Parent != b[i].Parent {
+			t.Errorf("span %d: ids differ across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].ID == 0 {
+			t.Errorf("span %d: zero ID", i)
+		}
+	}
+	// Causality: the mailbox write's parent is the intervention, whose
+	// parent is the poll, whose parent is the tick.
+	byName := map[string]Span{}
+	for _, s := range a {
+		byName[s.Name] = s
+	}
+	if byName["mailbox_write"].Parent != byName["guard_intervention"].ID {
+		t.Errorf("mailbox_write parent = %x, want intervention %x",
+			byName["mailbox_write"].Parent, byName["guard_intervention"].ID)
+	}
+	if byName["guard_intervention"].Parent != byName["guard_poll"].ID {
+		t.Errorf("intervention parent = %x, want poll %x",
+			byName["guard_intervention"].Parent, byName["guard_poll"].ID)
+	}
+	if byName["guard_poll"].Parent != byName["kthread_tick"].ID {
+		t.Errorf("poll parent = %x, want tick %x",
+			byName["guard_poll"].Parent, byName["kthread_tick"].ID)
+	}
+	if byName["kthread_tick"].Parent != 0 {
+		t.Errorf("tick should be a root span, got parent %x", byName["kthread_tick"].Parent)
+	}
+}
+
+func TestSeedChangesIDs(t *testing.T) {
+	a := NewTracer(nil, 1, 0)
+	b := NewTracer(nil, 2, 0)
+	ia := a.Complete("t", "x", 0, 0, nil)
+	ib := b.Complete("t", "x", 0, 0, nil)
+	if ia == ib {
+		t.Fatalf("same ID %x from different seeds", ia)
+	}
+}
+
+func TestChromeTraceByteIdentical(t *testing.T) {
+	render := func() []byte {
+		c := &fakeClock{}
+		tr := NewTracer(c.clock, 7, 0)
+		emitSample(tr, c)
+		tr.Sample("cpu/core1", "rail_mv", 5*sim.Microsecond, 640)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("chrome trace differs across identical runs:\n%s\n----\n%s", a, b)
+	}
+	// The document must be valid JSON with the expected shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	var xs, ms, cs int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xs++
+		case "M":
+			ms++
+		case "C":
+			cs++
+		}
+	}
+	if xs != 5 || cs != 1 || ms == 0 {
+		t.Fatalf("event mix: %d X, %d M, %d C (want 5 X, >0 M, 1 C)", xs, ms, cs)
+	}
+}
+
+func TestChromeTraceOrderIndependent(t *testing.T) {
+	// Two emission interleavings of the same spans must render identically:
+	// this is what makes the export worker-count invariant.
+	mk := func(order []int) []byte {
+		tr := NewTracer(nil, 3, 0)
+		for _, freq := range order {
+			tr.Complete("characterize/"+strings.Repeat("0", 0)+itoa(freq), "row",
+				0, sim.Duration(freq)*sim.Microsecond, map[string]any{"freq_khz": freq})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := mk([]int{1200, 1800, 2400})
+	b := mk([]int{2400, 1200, 1800})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export depends on emission order:\n%s\n----\n%s", a, b)
+	}
+}
+
+func itoa(v int) string {
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFolded(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracer(c.clock, 7, 0)
+	emitSample(tr, c)
+	var buf bytes.Buffer
+	if err := tr.WriteFolded(&buf); err != nil {
+		t.Fatalf("WriteFolded: %v", err)
+	}
+	out := buf.String()
+	want := "kernel/guard;kthread_tick;guard_poll;guard_intervention;mailbox_write 0\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("folded output missing path %q:\n%s", want, out)
+	}
+	// Lines must be sorted and values aggregated self-times.
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Errorf("folded lines not sorted: %q then %q", lines[i-1], lines[i])
+		}
+	}
+	// The intervention's self time excludes the (zero-cost) write: 400ns.
+	if !strings.Contains(out, "guard_intervention 400\n") {
+		t.Errorf("intervention self-time missing:\n%s", out)
+	}
+}
+
+func TestCapDropsNewest(t *testing.T) {
+	tr := NewTracer(nil, 1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Complete("t", "s", sim.Time(i), 0, nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	// The retained spans are the oldest (drop-newest policy).
+	for i, s := range tr.Spans() {
+		if s.Start != sim.Time(i) {
+			t.Fatalf("span %d start = %d, want %d", i, s.Start, i)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	a := tr.Start("t", "s", nil)
+	a.SetAttr("k", 1)
+	a.End()
+	a.EndWithCost(5)
+	if id := tr.Complete("t", "s", 0, 0, nil); id != 0 {
+		t.Fatalf("nil Complete returned %x", id)
+	}
+	if tr.Instant("t", "s", nil) != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.Cap() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	tr.Sample("t", "c", 0, 1)
+	if tr.Spans() != nil || tr.Counters() != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	if err := tr.WriteFolded(&buf); err != nil {
+		t.Fatalf("nil WriteFolded: %v", err)
+	}
+}
+
+func TestTsMicros(t *testing.T) {
+	cases := []struct {
+		ps   int64
+		want string
+	}{
+		{0, "0"},
+		{1_000_000, "1"},
+		{1_500_000, "1.5"},
+		{123, "0.000123"},
+		{2_000_010, "2.00001"},
+		{537_000_000_000, "537000"},
+	}
+	for _, c := range cases {
+		if got := tsMicros(c.ps); got != c.want {
+			t.Errorf("tsMicros(%d) = %q, want %q", c.ps, got, c.want)
+		}
+	}
+}
+
+func TestEndTwiceAndScopeUnwind(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracer(c.clock, 9, 0)
+	outer := tr.Start("t", "outer", nil)
+	inner := tr.Start("t", "inner", nil)
+	outer.End() // out of order: unwinds past inner
+	outer.End() // double end: no-op
+	inner.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// A span started now must not be parented under the ended pair.
+	root := tr.Start("t", "late", nil)
+	root.End()
+	for _, s := range tr.Spans() {
+		if s.Name == "late" && s.Parent != 0 {
+			t.Fatalf("late span inherited stale parent %x", s.Parent)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry/span"
 )
 
 // Clock produces the current virtual time. (*sim.Simulator).Now fits.
@@ -56,7 +57,9 @@ func (l Labels) signature() string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+		// Both sides quoted: an unquoted key would let a crafted key like
+		// `a="1",b` forge another set's signature.
+		fmt.Fprintf(&sb, "%q=%q", k, l[k])
 	}
 	return sb.String()
 }
@@ -345,18 +348,29 @@ func ExponentialBuckets(start, factor float64, count int) []float64 {
 // uses as its base unit for time series.
 func Seconds(d sim.Duration) float64 { return float64(d) / float64(sim.Second) }
 
-// Set bundles a Registry and a Journal on a shared clock — the unit a
-// subsystem accepts to become observable. A nil *Set (and nil fields) turns
-// every instrumentation site into a no-op.
+// Set bundles a Registry, a Journal and a span Tracer on a shared clock —
+// the unit a subsystem accepts to become observable. A nil *Set (and nil
+// fields) turns every instrumentation site into a no-op.
 type Set struct {
 	Reg     *Registry
 	Journal *Journal
+	Trace   *span.Tracer
 }
 
-// NewSet builds a registry plus a journal bounded at journalCap events on
-// the same clock.
-func NewSet(clock Clock, journalCap int) *Set {
-	return &Set{Reg: NewRegistry(clock), Journal: NewJournal(clock, journalCap)}
+// NewSet builds a registry, a journal bounded at journalCap events, and a
+// span tracer minting IDs from seed, all on the same clock. The journal's
+// drop-newest count is wired to the telemetry_journal_dropped_total counter
+// so silent event loss is visible in the exposition.
+func NewSet(clock Clock, journalCap int, seed int64) *Set {
+	s := &Set{
+		Reg:     NewRegistry(clock),
+		Journal: NewJournal(clock, journalCap),
+		Trace:   span.NewTracer(span.Clock(clock), seed, 0),
+	}
+	dropped := s.Reg.Counter("telemetry_journal_dropped_total",
+		"journal events rejected after the cap was reached (drop-newest policy)", nil)
+	s.Journal.OnDrop(dropped.Inc)
+	return s
 }
 
 // Registry returns the set's registry; nil-safe.
@@ -373,4 +387,14 @@ func (s *Set) Events() *Journal {
 		return nil
 	}
 	return s.Journal
+}
+
+// Spans returns the set's span tracer; nil-safe (a nil tracer is itself a
+// valid no-op sink, so instrumentation can call s.Spans().Start(...)
+// unconditionally).
+func (s *Set) Spans() *span.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
 }

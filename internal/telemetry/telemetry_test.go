@@ -315,8 +315,8 @@ func TestBins(t *testing.T) {
 
 func TestSetConstruction(t *testing.T) {
 	now := sim.Time(0)
-	s := NewSet(testClock(&now), 8)
-	if s.Registry() == nil || s.Events() == nil {
+	s := NewSet(testClock(&now), 8, 1)
+	if s.Registry() == nil || s.Events() == nil || s.Spans() == nil {
 		t.Fatal("set components nil")
 	}
 	if s.Events().Cap() != 8 {

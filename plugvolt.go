@@ -104,9 +104,12 @@ func NewSystem(model string, seed int64) (*System, error) {
 		Kernel:    kernel.New(p.Sim, p),
 		Registry:  sgx.NewRegistry(p.Sim),
 		CPUFreq:   mgr,
-		Telemetry: telemetry.NewSet(p.Sim.Now, telemetry.DefaultJournalCap),
+		Telemetry: telemetry.NewSet(p.Sim.Now, telemetry.DefaultJournalCap, seed),
 	}
 	sys.Kernel.SetTelemetry(sys.Telemetry)
+	// The span tracer observes every OC-mailbox write at the register file;
+	// the platform keeps it attached across crash reboots.
+	p.SetSpanTracer(sys.Telemetry.Spans())
 	// Attestation reports carry the hyperthreading status (the precedent
 	// the paper cites for attesting software features); derive it from the
 	// model's SMT topology.
@@ -147,6 +150,7 @@ func (s *System) CollectTelemetry() {
 func (s *System) SetTelemetry(t *telemetry.Set) {
 	s.Telemetry = t
 	s.Kernel.SetTelemetry(t)
+	s.Platform.SetSpanTracer(t.Spans())
 }
 
 // DumpTelemetry collects pull-style state and writes the Prometheus

@@ -1,0 +1,216 @@
+package plugvolt_test
+
+// End-to-end contract for the causal span trace: the exported Chrome trace
+// is byte-identical across runs and across characterization worker counts,
+// and the causality it records proves the guard's coverage — every write
+// the guard issues is enclosed by a guard_intervention span, and every
+// accepted unsafe attacker write is closed by a later intervention on the
+// same core within the SLO dwell bound.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"plugvolt"
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/slo"
+	"plugvolt/internal/telemetry/span"
+)
+
+// attackScenario characterizes, deploys the guard, runs a periodic
+// undervolting adversary for 10ms of virtual time, and returns the system
+// plus the exported Chrome trace bytes.
+func attackScenario(t *testing.T, workers int) (*plugvolt.System, *plugvolt.Guard, *plugvolt.Grid, []byte) {
+	t.Helper()
+	sys, err := plugvolt.NewSystem("skylake", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := plugvolt.QuickSweep()
+	cfg.Workers = workers
+	grid, err := sys.Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sys.DeployGuard(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Platform
+	unsafe := grid.UnsafeSet()
+	offset := unsafe.OnsetMV[p.FreqKHz(1)] - 60
+	attacker := p.Sim.Every(537*sim.Microsecond, func() {
+		_ = p.WriteOffsetViaMSR(1, offset, msr.PlaneCore)
+	})
+	defer attacker.Stop()
+	sys.RunFor(10 * sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := sys.Telemetry.Spans().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return sys, pol.Guard, grid, buf.Bytes()
+}
+
+func TestTraceByteIdenticalAcrossRunsAndWorkers(t *testing.T) {
+	_, _, _, first := attackScenario(t, 1)
+	if len(first) == 0 {
+		t.Fatal("empty trace")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Re-running the identical experiment must reproduce the bytes.
+	_, _, _, again := attackScenario(t, 1)
+	if !bytes.Equal(first, again) {
+		t.Fatal("trace differs between two identical runs")
+	}
+	// The characterization worker count is a scheduling knob, not an
+	// experiment parameter: the trace must not see it.
+	for _, workers := range []int{2, 8} {
+		_, _, _, got := attackScenario(t, workers)
+		if !bytes.Equal(first, got) {
+			t.Fatalf("trace differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestGuardWritesCausallyCovered(t *testing.T) {
+	sys, guard, _, _ := attackScenario(t, 1)
+	spans := sys.Telemetry.Spans().Spans()
+	byID := make(map[span.ID]*span.Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	underIntervention := func(s *span.Span) bool {
+		for cur := s; cur != nil; cur = byID[cur.Parent] {
+			if cur.Name == "guard_intervention" {
+				return true
+			}
+			if cur.Parent == 0 {
+				return false
+			}
+		}
+		return false
+	}
+
+	interventions, attacks, guardWrites := 0, 0, 0
+	for i := range spans {
+		s := &spans[i]
+		switch s.Name {
+		case "guard_intervention":
+			interventions++
+			// An intervention nests under its poll, which roots in the
+			// kthread tick — the full causal chain of Algorithm 3.
+			parent := byID[s.Parent]
+			if parent == nil || parent.Name != "guard_poll" {
+				t.Errorf("intervention %x not parented by a guard_poll", s.ID)
+			}
+		case "mailbox_write":
+			if s.Attrs["outcome"] != "accepted" {
+				continue
+			}
+			if underIntervention(s) {
+				guardWrites++
+			} else {
+				attacks++
+			}
+		}
+	}
+	if interventions == 0 {
+		t.Fatal("attack scenario produced no guard interventions")
+	}
+	// Every intervention performs exactly one corrective write, and every
+	// guard-issued write is causally covered by an intervention span.
+	if guardWrites != interventions {
+		t.Fatalf("guard writes %d != interventions %d: corrective writes not covered",
+			guardWrites, interventions)
+	}
+	if attacks == 0 {
+		t.Fatal("no attacker writes recorded")
+	}
+	if n := guard.Interventions; int(n) != interventions {
+		t.Fatalf("trace records %d interventions, guard counted %d", interventions, n)
+	}
+}
+
+func TestSLOQuietOnCleanRunAndFlagsStall(t *testing.T) {
+	sys, _, grid, _ := attackScenario(t, 1)
+	unsafe := grid.UnsafeSet()
+	p := sys.Platform
+	wd := &slo.Watchdog{
+		Tracer:  sys.Telemetry.Spans(),
+		Journal: sys.Telemetry.Events(),
+		Rules:   slo.DefaultRules(plugvolt.DefaultGuardConfig().PollPeriod),
+		Unsafe: func(core, offsetMV int) bool {
+			return unsafe.Contains(p.FreqKHz(core), offsetMV)
+		},
+	}
+	rep := wd.Evaluate(p.Sim.Now())
+	if !rep.OK() {
+		t.Fatalf("clean guarded run violates SLO:\n%s", rep.Summary())
+	}
+	if rep.Stats.Interventions == 0 || rep.Stats.UnsafeWrites == 0 {
+		t.Fatalf("watchdog saw no action: %+v", rep.Stats)
+	}
+}
+
+func TestSLOFlagsInducedStall(t *testing.T) {
+	sys, err := plugvolt.NewSystem("skylake", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := sys.Characterize(plugvolt.QuickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sys.DeployGuard(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Platform
+	unsafe := grid.UnsafeSet()
+	offset := unsafe.OnsetMV[p.FreqKHz(1)] - 60
+	attacker := p.Sim.Every(537*sim.Microsecond, func() {
+		_ = p.WriteOffsetViaMSR(1, offset, msr.PlaneCore)
+	})
+	defer attacker.Stop()
+	sys.RunFor(5 * sim.Millisecond)
+	// The adversary unloads the module mid-window: polls stop, and the
+	// last attacker writes are never corrected.
+	if err := pol.Uninstall(sys.Env()); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(5 * sim.Millisecond)
+
+	wd := &slo.Watchdog{
+		Tracer:  sys.Telemetry.Spans(),
+		Journal: sys.Telemetry.Events(),
+		Rules:   slo.DefaultRules(plugvolt.DefaultGuardConfig().PollPeriod),
+		Unsafe: func(core, offsetMV int) bool {
+			return unsafe.Contains(p.FreqKHz(core), offsetMV)
+		},
+	}
+	rep := wd.Evaluate(p.Sim.Now())
+	if rep.OK() {
+		t.Fatalf("stalled guard passed the SLO:\n%s", rep.Summary())
+	}
+	kinds := map[slo.Kind]bool{}
+	for _, v := range rep.Violations {
+		kinds[v.Rule.Kind] = true
+	}
+	if !kinds[slo.KindMaxPollGap] {
+		t.Errorf("stall not flagged as max_poll_gap:\n%s", rep.Summary())
+	}
+	if !kinds[slo.KindInterventionClosure] {
+		t.Errorf("uncorrected writes not flagged as closure violations:\n%s", rep.Summary())
+	}
+}
