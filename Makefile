@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo
+.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,13 @@ test-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Short fuzz pass over the grid codec and the shard merge ordering.
+# Short fuzz pass over the grid codec, the shard merge ordering, and the
+# compiled guard LUT's equivalence with the map-backed membership test.
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGridJSONRoundTrip -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzRowMergeOrdering -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGridFromJSON -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzLUTContainsEquivalence -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -38,7 +40,7 @@ bench:
 # or feed the raw fields to benchstat (see EXPERIMENTS.md).
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers' \
+	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput' \
 		-benchtime 300x -count 5 -run '^$$' -timeout 30m . ; \
 	  $(GO) test -bench . -benchtime 300x -count 5 -run '^$$' \
 		./internal/sim ./internal/timing ; } \
@@ -81,3 +83,14 @@ trace-demo:
 	@echo
 	@echo "== top folded stacks by self time"
 	@sort -t' ' -k2 -rn trace.folded | head -8
+
+# Fleet demo: a 24-machine mixed fleet under a VoltJockey campaign, report
+# and merged metric exposition written out. Rerun with any -workers value:
+# fleet.json and fleet.prom are byte-identical (the PR 1 sharding invariant
+# at fleet scale).
+fleet-demo:
+	$(GO) run ./cmd/plugvolt-fleet -machines 24 -attack voltjockey \
+		-out fleet.json -metrics-out fleet.prom
+	@echo
+	@echo "== merged exposition highlights"
+	@grep -E '^(guard_|attack_)' fleet.prom | head -12

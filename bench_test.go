@@ -23,12 +23,18 @@ import (
 	"plugvolt"
 	"plugvolt/internal/attack"
 	"plugvolt/internal/core"
+	"plugvolt/internal/fleet"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/spec"
+	"plugvolt/internal/telemetry"
+	"plugvolt/internal/telemetry/span"
 	"plugvolt/internal/trace"
 )
+
+// benchSink defeats dead-code elimination in the decision-path benchmarks.
+var benchSink int
 
 // T1 — Table 1: the OC-mailbox codec (Algorithm 1 and its inverse).
 func BenchmarkTable1MailboxCodec(b *testing.B) {
@@ -373,6 +379,137 @@ func BenchmarkE3EmpiricalUnsafeDwell(b *testing.B) {
 		b.ReportMetric(float64(reg.Longest)/float64(sim.Microsecond), "register-dwell-max-us")
 		b.ReportMetric(rail.Fraction()*100, "rail-unsafe-%")
 	}
+}
+
+// Hot path — the guard decision rewrite: the per-poll membership test,
+// compiled from the map-backed UnsafeSet.Contains down to a dense 256-entry
+// per-ratio LUT with the guard margin pre-folded. decision-map measures the
+// replaced path exactly as the old pollOne ran it (RatioToKHz, map probe,
+// neighbour scan on a miss); decision-lut measures the compiled path the
+// guard runs now. Both evaluate the same 4096-membership (ratio, offset)
+// stream per op, so their ns/op are directly comparable. The poll-*
+// sub-benches then time the full steady-state poll loop end to end — one
+// kthread tick (every core polled) per op, driven through the simulator the
+// way a deployment drives it — with allocations reported: the poll path is
+// allocation-free both with telemetry off and with full tracing on once the
+// span buffer reaches its drop-newest steady state. CI gates poll-* against
+// the committed BENCH_2.json baseline.
+func BenchmarkGuardPollSteadyState(b *testing.B) {
+	const decisionsPerOp = 4096
+	sys, grid := characterize(b, "skylake", 42)
+	unsafe := grid.UnsafeSet()
+	bus := sys.Platform.Spec.BusMHz
+	margin := core.DefaultGuardConfig().MarginMV
+	lut, err := unsafe.Compile(bus, margin)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("decision-map", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < decisionsPerOp; j++ {
+				ratio := uint8(j * 11)
+				offset := -(j * 7 % 300)
+				if unsafe.Contains(msr.RatioToKHz(ratio, bus), offset-margin) {
+					sink++
+				}
+			}
+		}
+		benchSink += sink
+	})
+
+	b.Run("decision-lut", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < decisionsPerOp; j++ {
+				ratio := uint8(j * 11)
+				offset := -(j * 7 % 300)
+				if lut.Unsafe(ratio, offset) {
+					sink++
+				}
+			}
+		}
+		benchSink += sink
+	})
+
+	// pollSteadyState deploys the guard on a freshly characterized Sky Lake
+	// machine and times one poll period per op. With tracing on, a live
+	// registry, journal and span tracer are attached (small caps so warm-up
+	// is cheap) and the run is warmed until both journal and span buffer sit
+	// in their drop-newest regime — a long experiment's normal condition.
+	pollSteadyState := func(b *testing.B, tracing bool) {
+		sys, grid := characterize(b, "skylake", 42)
+		cfg := core.DefaultGuardConfig()
+		if tracing {
+			tel := &telemetry.Set{
+				Reg:     telemetry.NewRegistry(sys.Platform.Sim.Now),
+				Journal: telemetry.NewJournal(sys.Platform.Sim.Now, 256),
+				Trace:   span.NewTracer(span.Clock(sys.Platform.Sim.Now), 42, 1024),
+			}
+			sys.SetTelemetry(tel)
+			cfg.Telemetry = tel
+		} else {
+			sys.SetTelemetry(&telemetry.Set{})
+		}
+		guard, err := core.NewGuard(grid.UnsafeSet(), sys.Platform.Spec.BusMHz, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Kernel.Load(guard.Module()); err != nil {
+			b.Fatal(err)
+		}
+		if tracing {
+			for i := 0; sys.Telemetry.Trace.Dropped() == 0 || !sys.Telemetry.Events().Full(); i++ {
+				if i > 100 {
+					b.Fatal("telemetry buffers never filled during warm-up")
+				}
+				sys.RunFor(50 * sim.Millisecond)
+			}
+		} else {
+			sys.RunFor(sim.Millisecond)
+		}
+		checksBefore := guard.Checks
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.RunFor(cfg.PollPeriod)
+		}
+		b.StopTimer()
+		if guard.Checks == checksBefore {
+			b.Fatal("guard stopped polling")
+		}
+		if guard.Interventions != 0 {
+			b.Fatal("benign steady state triggered interventions; wrong path measured")
+		}
+		b.ReportMetric(float64(guard.Checks-checksBefore)/float64(b.N), "polls/op")
+	}
+
+	b.Run("poll-telemetry-off", func(b *testing.B) { pollSteadyState(b, false) })
+	b.Run("poll-tracing-on", func(b *testing.B) { pollSteadyState(b, true) })
+}
+
+// Fleet throughput — the concurrent fleet-simulation engine: a mixed
+// skylake/kabylaker/cometlake fleet, each machine characterized, guarded
+// and attacked, simulated across the default worker pool. The aggregate is
+// validated every op (the guard must hold fleet-wide); machines/s is the
+// headline throughput metric.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const machines = 4
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(fleet.Config{Machines: machines, Seed: 42, Attack: "voltjockey"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := rep.Aggregate
+		if agg.Errors != 0 || agg.AttacksSucceeded != 0 {
+			b.Fatalf("fleet aggregate %+v", agg)
+		}
+		if agg.GuardInterventions == 0 {
+			b.Fatal("fleet guard never engaged")
+		}
+	}
+	b.ReportMetric(float64(machines*b.N)/b.Elapsed().Seconds(), "machines/s")
 }
 
 // Ablation: adaptive bisection vs the full Algorithm 2 scan — probes spent

@@ -98,34 +98,31 @@ func TestRawFieldCoversEveryBenchmark(t *testing.T) {
 
 func TestBaselinesShareBenchmarkSet(t *testing.T) {
 	// The whole point of numbered baselines is longitudinal comparison:
-	// every artifact must cover the same benchmark names.
+	// later artifacts may add benchmarks as the suite grows (BENCH_2 added
+	// the guard-poll and fleet rows), but must never silently drop one an
+	// earlier baseline covers — the shared history stays comparable.
 	paths := repoArtifacts(t)
-	nameSet := func(art *Artifact) string {
+	nameSet := func(art *Artifact) map[string]bool {
 		set := map[string]bool{}
 		for _, b := range art.Benchmarks {
 			set[b.Name] = true
 		}
-		names := make([]string, 0, len(set))
-		for n := range set {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return strings.Join(names, ",")
+		return set
 	}
-	var ref, refPath string
+	var prev map[string]bool
+	var prevPath string
 	for _, p := range paths {
 		art, err := load(p)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
 		ns := nameSet(art)
-		if ref == "" {
-			ref, refPath = ns, p
-			continue
+		for n := range prev {
+			if !ns[n] {
+				t.Errorf("%s dropped %s, which %s covers", p, n, prevPath)
+			}
 		}
-		if ns != ref {
-			t.Errorf("%s and %s cover different benchmarks:\n%s\nvs\n%s", p, refPath, ns, ref)
-		}
+		prev, prevPath = ns, p
 	}
 }
 

@@ -1,0 +1,116 @@
+// plugvolt-fleet simulates a guarded machine fleet: N independent systems
+// with mixed CPU models, each characterized, protected by the polling
+// countermeasure, and run through an attack campaign, simulated across a
+// worker pool. The aggregate report and the merged metric exposition are
+// byte-identical for any -workers value (the PR 1 sharding invariant at
+// fleet scale), so fleet outputs are diffable artifacts.
+//
+// Usage:
+//
+//	plugvolt-fleet -machines 24 -attack plundervolt
+//	plugvolt-fleet -machines 100 -workers 8 -attack voltjockey -metrics-out fleet.prom
+//	plugvolt-fleet -machines 12 -models skylake,cometlake -out fleet.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"plugvolt/internal/buildinfo"
+	"plugvolt/internal/fleet"
+	"plugvolt/internal/sim"
+)
+
+func main() {
+	var (
+		machines   = flag.Int("machines", 8, "fleet size")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); never changes any output byte")
+		modelsFlag = flag.String("models", "", "comma-separated CPU models cycled across the fleet (default: all models)")
+		seed       = flag.Int64("seed", 42, "fleet seed; machine i derives its own seed from it")
+		attackName = flag.String("attack", "plundervolt", fmt.Sprintf("campaign every machine faces: %s", strings.Join(fleet.AttackNames(), ", ")))
+		window     = flag.Duration("window", 10*time.Millisecond, `virtual idle time under guard when -attack none`)
+		out        = flag.String("out", "", `write the fleet report JSON here ("-" = stdout; default stdout summary only)`)
+		metricsOut = flag.String("metrics-out", "", `write the merged Prometheus exposition here ("-" = stdout)`)
+		version    = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-fleet")
+		return
+	}
+
+	cfg := fleet.Config{
+		Machines: *machines,
+		Workers:  *workers,
+		Seed:     *seed,
+		Attack:   *attackName,
+		Window:   sim.Duration(window.Nanoseconds()) * sim.Nanosecond,
+	}
+	if *modelsFlag != "" {
+		cfg.Models = strings.Split(*modelsFlag, ",")
+	}
+
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	agg := rep.Aggregate
+	fmt.Printf("== fleet: %d machines (%s), attack %s, seed %d\n",
+		agg.Machines, strings.Join(rep.Fleet.Models, "/"), rep.Fleet.Attack, rep.Fleet.Seed)
+	fmt.Printf("guard: %d checks, %d interventions across the fleet\n",
+		agg.GuardChecks, agg.GuardInterventions)
+	if agg.AttacksRun > 0 {
+		fmt.Printf("attacks: %d run, %d defeated, %d succeeded; %d mailbox writes (%d blocked), %d faults, %d crashes\n",
+			agg.AttacksRun, agg.AttacksDefeated, agg.AttacksSucceeded,
+			agg.MailboxWrites, agg.BlockedWrites, agg.FaultsObserved, agg.Crashes)
+	}
+	fmt.Printf("fleet virtual time: %v; reboots: %d; machine errors: %d\n",
+		sim.Duration(agg.VirtualPS), agg.Reboots, agg.Errors)
+
+	if *out != "" {
+		if err := writeTo(*out, func(w io.Writer) error {
+			data, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(data, '\n'))
+			return err
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, rep.WriteMetrics); err != nil {
+			fatal(err)
+		}
+	}
+	if agg.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "plugvolt-fleet: %d machine(s) failed; see the report rows\n", agg.Errors)
+		os.Exit(3)
+	}
+}
+
+func writeTo(path string, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-fleet:", err)
+	os.Exit(1)
+}

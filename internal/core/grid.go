@@ -211,6 +211,7 @@ func (g *Grid) UnsafeSet() *UnsafeSet {
 			u.OnsetMV[f] = onset
 		}
 	}
+	u.precomputeFallback()
 	return u
 }
 
@@ -241,6 +242,28 @@ type UnsafeSet struct {
 	OnsetMV  map[int]int `json:"onset_mv"`
 	// FloorMV is the deepest swept offset (context for consumers).
 	FloorMV int `json:"floor_mv"`
+
+	// fallbackMV/fallbackOK cache the global shallowest onset, the
+	// conservative answer for off-grid frequencies whose neighbours are
+	// entirely safe. The constructors (Grid.UnsafeSet, UnsafeSetFromJSON)
+	// precompute it so that case never iterates OnsetMV on the guard's poll
+	// path; hand-built literals (fallbackReady false) fall back to a live
+	// scan with identical results.
+	fallbackMV    int
+	fallbackOK    bool
+	fallbackReady bool
+}
+
+// precomputeFallback caches the global shallowest onset boundary.
+func (u *UnsafeSet) precomputeFallback() {
+	u.fallbackMV, u.fallbackOK = 0, false
+	for _, onset := range u.OnsetMV {
+		if !u.fallbackOK || onset > u.fallbackMV {
+			u.fallbackMV = onset
+			u.fallbackOK = true
+		}
+	}
+	u.fallbackReady = true
 }
 
 // boundaryFor resolves the onset boundary for an arbitrary frequency.
@@ -273,6 +296,9 @@ func (u *UnsafeSet) boundaryFor(freqKHz int) (int, bool) {
 	if !found {
 		// Neighbours entirely safe; fall back to the global shallowest
 		// boundary for conservatism.
+		if u.fallbackReady {
+			return u.fallbackMV, u.fallbackOK
+		}
 		for _, onset := range u.OnsetMV {
 			if !found || onset > best {
 				best = onset
@@ -311,5 +337,6 @@ func UnsafeSetFromJSON(data []byte) (*UnsafeSet, error) {
 	if err := json.Unmarshal(data, &u); err != nil {
 		return nil, err
 	}
+	u.precomputeFallback()
 	return &u, nil
 }

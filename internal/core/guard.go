@@ -90,6 +90,11 @@ type Guard struct {
 	cfg    GuardConfig
 	unsafe *UnsafeSet
 	busMHz int
+	// lut is the compiled decision table: the unsafe boundary flattened over
+	// the 256-slot ratio domain with MarginMV folded in, so the per-poll
+	// membership test is two array loads instead of a map lookup + binary
+	// search on UnsafeSet.
+	lut *RatioLUT
 
 	k       *kernel.Kernel
 	thread  *kernel.KThread
@@ -120,6 +125,11 @@ type Guard struct {
 	// "guard_intervention" span enclosing the corrective wrmsr, which is the
 	// causal chain the SLO watchdog and the e2e trace test check.
 	spans *span.Tracer
+	// pollAttrs[core] is the preallocated attribute map for that core's
+	// "guard_poll" span, built once in instrument. Poll spans share the map
+	// by reference (never mutated after construction) so tracing a poll does
+	// not allocate.
+	pollAttrs []map[string]any
 }
 
 // pollLatencyBuckets bound the per-core poll cost histogram in seconds. A
@@ -161,7 +171,11 @@ func NewGuard(unsafe *UnsafeSet, busMHz int, cfg GuardConfig) (*Guard, error) {
 			return nil, errors.New("core: bad cross-check parameters")
 		}
 	}
-	return &Guard{cfg: cfg, unsafe: unsafe, busMHz: busMHz, deficitRuns: map[int]int{}}, nil
+	lut, err := unsafe.Compile(busMHz, cfg.MarginMV)
+	if err != nil {
+		return nil, err
+	}
+	return &Guard{cfg: cfg, unsafe: unsafe, busMHz: busMHz, lut: lut, deficitRuns: map[int]int{}}, nil
 }
 
 // Module returns the loadable kernel module housing the guard. Loading it
@@ -232,7 +246,9 @@ func (g *Guard) instrument(numCores int) {
 	g.pollsC = make([]*telemetry.Counter, numCores)
 	g.interventionsC = make([]*telemetry.Counter, numCores)
 	g.anomaliesC = make([]*telemetry.Counter, numCores)
+	g.pollAttrs = make([]map[string]any, numCores)
 	for core := 0; core < numCores; core++ {
+		g.pollAttrs[core] = map[string]any{"core": core}
 		lbl := telemetry.Labels{"core": fmt.Sprintf("%d", core)}
 		g.pollsC[core] = reg.Counter("guard_polls_total",
 			"per-core (freq, offset) state inspections by the polling kthread", lbl)
@@ -280,33 +296,34 @@ func (g *Guard) poll(t *kernel.KThread) {
 }
 
 // pollOne inspects a single core's state pair and intervenes if unsafe.
+//
+// This is the countermeasure's steady-state cost (Table 2), so the path is
+// branch-poor and allocation-free: membership is the compiled RatioLUT (two
+// array loads), the poll span reuses the preallocated per-core attribute map
+// through the by-value Scope API, and span/latency accounting is closed by
+// an explicit endPoll at each return instead of a deferred closure. Only an
+// actual intervention — rare by construction, bounded by attacks rather than
+// the poll rate — takes the allocating slow path.
 func (g *Guard) pollOne(t *kernel.KThread, core int) {
 	g.Checks++
 	busyBefore := t.Busy
-	var sp *span.Active
+	var sc span.Scope
 	if g.spans != nil {
-		sp = g.spans.Start("guard", "guard_poll", map[string]any{"core": core})
+		sc = g.spans.StartScope("guard", "guard_poll", g.pollAttrs[core])
 	}
-	defer func() {
-		// The poll's cost is the CPU time it charged through the kthread —
-		// virtual accounting, so observing it cannot perturb the run.
-		sp.EndWithCost(t.Busy - busyBefore)
-		if g.pollLatency != nil {
-			g.pollLatency.Observe(telemetry.Seconds(t.Busy - busyBefore))
-		}
-	}()
 	if g.pollsC != nil {
 		g.pollsC[core].Inc()
 	}
 	status, err := t.ReadMSR(core, msr.IA32PerfStatus)
 	if err != nil {
+		g.endPoll(&sc, t, busyBefore)
 		return // core offline (crashed); nothing to protect
 	}
 	ratio, liveV := msr.DecodePerfStatus(status)
-	freqKHz := msr.RatioToKHz(ratio, g.busMHz)
 
 	mailbox, err := t.ReadMSR(core, msr.OCMailbox)
 	if err != nil {
+		g.endPoll(&sc, t, busyBefore)
 		return
 	}
 	offsetMV := msr.DecodeVoltageOffset(mailbox).OffsetMV
@@ -315,35 +332,52 @@ func (g *Guard) pollOne(t *kernel.KThread, core int) {
 		g.crossCheck(core, ratio, offsetMV, liveV)
 	}
 
-	// Apply the conservative margin: a state within MarginMV of the
-	// measured boundary is treated as unsafe.
-	if g.unsafe.Contains(freqKHz, offsetMV-g.cfg.MarginMV) {
-		// Force the system back into a safe state via MSR 0x150. The
-		// intervention span stays open across the write so the corrective
-		// wrmsr (and its register-level mailbox_write outcome) is causally
-		// enclosed by the intervention in the trace.
-		var isp *span.Active
-		if g.spans != nil {
-			isp = g.spans.Start("guard", "guard_intervention", map[string]any{
-				"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
-				"safe_mv": g.cfg.SafeOffsetMV,
-			})
+	// Membership with the conservative margin pre-folded in: a state within
+	// MarginMV of the measured boundary is treated as unsafe.
+	if g.lut.Unsafe(ratio, offsetMV) {
+		g.intervene(t, core, ratio, offsetMV)
+	}
+	g.endPoll(&sc, t, busyBefore)
+}
+
+// endPoll closes the poll span and the latency histogram with the CPU time
+// the poll charged through the kthread — virtual accounting, so observing
+// it cannot perturb the run.
+func (g *Guard) endPoll(sc *span.Scope, t *kernel.KThread, busyBefore sim.Duration) {
+	cost := t.Busy - busyBefore
+	sc.EndWithCost(cost)
+	if g.pollLatency != nil {
+		g.pollLatency.Observe(telemetry.Seconds(cost))
+	}
+}
+
+// intervene forces core back into a safe state via MSR 0x150. The
+// intervention span stays open across the write so the corrective wrmsr
+// (and its register-level mailbox_write outcome) is causally enclosed by
+// the intervention in the trace.
+func (g *Guard) intervene(t *kernel.KThread, core int, ratio uint8, offsetMV int) {
+	freqKHz := msr.RatioToKHz(ratio, g.busMHz)
+	var isp *span.Active
+	if g.spans != nil {
+		isp = g.spans.Start("guard", "guard_intervention", map[string]any{
+			"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
+			"safe_mv": g.cfg.SafeOffsetMV,
+		})
+	}
+	writeBusy := t.Busy
+	err := t.WriteMSR(core, msr.OCMailbox, safeCommand(g.cfg.SafeOffsetMV))
+	isp.SetAttr("ok", err == nil)
+	isp.EndWithCost(t.Busy - writeBusy)
+	if err == nil {
+		g.Interventions++
+		g.LastIntervention = g.k.Sim().Now()
+		if g.interventionsC != nil {
+			g.interventionsC[core].Inc()
 		}
-		writeBusy := t.Busy
-		err := t.WriteMSR(core, msr.OCMailbox, safeCommand(g.cfg.SafeOffsetMV))
-		isp.SetAttr("ok", err == nil)
-		isp.EndWithCost(t.Busy - writeBusy)
-		if err == nil {
-			g.Interventions++
-			g.LastIntervention = g.k.Sim().Now()
-			if g.interventionsC != nil {
-				g.interventionsC[core].Inc()
-			}
-			g.cfg.Telemetry.Events().Emit("guard_intervention", map[string]any{
-				"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
-				"safe_mv": g.cfg.SafeOffsetMV,
-			})
-		}
+		g.cfg.Telemetry.Events().Emit("guard_intervention", map[string]any{
+			"core": core, "freq_khz": freqKHz, "offset_mv": offsetMV,
+			"safe_mv": g.cfg.SafeOffsetMV,
+		})
 	}
 }
 

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"plugvolt/internal/msr"
+)
+
+// RatioLUT is the guard's compiled decision table: the unsafe-set boundary
+// flattened over the full P-state ratio domain with the guard margin folded
+// in. The polled frequency is an 8-bit IA32_PERF_STATUS ratio, so every
+// state the guard can ever observe maps to one of 256 slots — membership
+// becomes two array loads and a compare, replacing the per-poll map lookup +
+// binary search (+ full-map fallback for off-grid frequencies) that
+// UnsafeSet.Contains pays. Compile proves nothing new: for every ratio it
+// asks boundaryFor once and stores the answer, so the table is bit-for-bit
+// equivalent to Contains by construction (and by the fuzz/property tests in
+// lut_test.go).
+type RatioLUT struct {
+	// Model names the characterized machine the table was compiled from.
+	Model string
+	// BusMHz and MarginMV record the compilation parameters; the table is
+	// only valid for a guard polling that bus clock with that margin.
+	BusMHz   int
+	MarginMV int
+
+	// thresholdMV[r] is the shallowest offset treated as unsafe at P-state
+	// ratio r, margin included: offset <= thresholdMV[r] is an unsafe state.
+	// valid[r] gates the slot; false means no characterized frequency faults
+	// (nothing to protect), matching Contains' ok=false path.
+	thresholdMV [256]int
+	valid       [256]bool
+}
+
+// Compile flattens the set into a RatioLUT for a machine with the given bus
+// clock, pre-folding marginMV into every boundary:
+//
+//	lut.Unsafe(ratio, offsetMV)  ==  u.Contains(msr.RatioToKHz(ratio, busMHz), offsetMV-marginMV)
+//
+// for all 256 ratios and all offsets, because offset-margin <= b iff
+// offset <= b+margin.
+func (u *UnsafeSet) Compile(busMHz, marginMV int) (*RatioLUT, error) {
+	if busMHz <= 0 {
+		return nil, fmt.Errorf("core: bus clock %d MHz", busMHz)
+	}
+	if marginMV < 0 {
+		return nil, fmt.Errorf("core: margin %d mV must be >= 0", marginMV)
+	}
+	l := &RatioLUT{Model: u.Model, BusMHz: busMHz, MarginMV: marginMV}
+	for r := 0; r < 256; r++ {
+		b, ok := u.boundaryFor(msr.RatioToKHz(uint8(r), busMHz))
+		if !ok {
+			continue
+		}
+		l.valid[r] = true
+		l.thresholdMV[r] = b + marginMV
+	}
+	return l, nil
+}
+
+// Unsafe reports whether the polled (ratio, offsetMV) pair is an unsafe
+// state under the compiled margin. Branch-poor and allocation-free: this is
+// the membership test on the guard's per-poll hot path.
+func (l *RatioLUT) Unsafe(ratio uint8, offsetMV int) bool {
+	return l.valid[ratio] && offsetMV <= l.thresholdMV[ratio]
+}
+
+// Threshold exposes one compiled slot (margin folded in); ok=false means
+// the ratio has nothing to protect. Diagnostic/test surface, not hot path.
+func (l *RatioLUT) Threshold(ratio uint8) (int, bool) {
+	return l.thresholdMV[ratio], l.valid[ratio]
+}

@@ -1,0 +1,343 @@
+// Package fleet is the repository's first fleet-scale workload: a worker-pool
+// engine that simulates N independent guarded machines — mixed Sky Lake /
+// Kaby Lake R / Comet Lake specs — each booting, characterizing, deploying
+// the polling countermeasure and (optionally) surviving an attack campaign,
+// with every machine's telemetry merged into one aggregate report.
+//
+// This is the setting the ROADMAP's production north star describes and the
+// one software-driven fault attacks actually target: not one lab machine but
+// a heterogeneous fleet, every member running the guard continuously. The
+// engine exists to answer fleet-shaped questions (how many interventions per
+// thousand machines? what does the merged poll-latency distribution look
+// like?) and to give the benchmark harness a multi-core workload whose inner
+// loop is the guard's zero-alloc poll path.
+//
+// Determinism mirrors the PR 1 sharding invariant: machine i's seed is
+// MachineSeed(fleet seed, i) — a pure function of the index — machines are
+// simulated on private platforms, and results are merged by index after all
+// workers finish, never in completion order. The report (JSON and merged
+// Prometheus exposition) is therefore byte-identical for any -workers value.
+//
+// Model specs are shared: one *models.Spec per distinct model serves every
+// machine of that model, so the validated timing-circuit template and the
+// derived frequency/voltage tables (models' derived cache, timing
+// Clone/Prepare) are built once per model, not once per machine.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"plugvolt"
+	"plugvolt/internal/attack"
+	"plugvolt/internal/models"
+	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
+)
+
+// AttackNames lists the campaign selectors Config.Attack accepts; "none"
+// idles the fleet under guard for Config.Window instead of attacking it.
+func AttackNames() []string { return []string{"plundervolt", "voltjockey", "v0ltpwn", "none"} }
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Machines is the fleet size.
+	Machines int
+	// Workers bounds simulation concurrency; <= 0 means GOMAXPROCS. The
+	// worker count never changes any result byte — only wall-clock time.
+	Workers int
+	// Models are cycled over the machine index (machine i gets
+	// Models[i%len]); empty means plugvolt.Models() — the full mixed fleet.
+	Models []string
+	// Seed is the fleet seed; machine i derives MachineSeed(Seed, i).
+	Seed int64
+	// Attack names the campaign every machine faces (see AttackNames).
+	Attack string
+	// Window is how long an unattacked machine idles under guard (Attack
+	// "none"); default 10 ms of virtual time.
+	Window sim.Duration
+	// Sweep overrides the characterization config; the zero value selects
+	// plugvolt.QuickSweep(). Sweep.Workers is forced to 1: parallelism
+	// belongs to the fleet pool, and a single-sharded sweep keeps the
+	// worker-labeled characterizer metrics deterministic.
+	Sweep plugvolt.CharacterizerConfig
+	// Guard overrides the countermeasure config; the zero value selects
+	// plugvolt.DefaultGuardConfig().
+	Guard plugvolt.GuardConfig
+}
+
+// MachineSeed derives machine index's seed from the fleet seed — a pure
+// function of the index, mirroring the characterizer's RowSeed(seed, freq)
+// idiom, so a machine replays identically no matter which worker runs it.
+// The index is offset and spread by a 64-bit odd constant (splitmix64's
+// golden gamma) so neighbouring machines get well-separated seeds.
+func MachineSeed(base int64, index int) int64 {
+	return base ^ (int64(index)+1)*-0x61c8864680b583eb
+}
+
+// AttackSummary is the per-machine campaign outcome in report form.
+type AttackSummary struct {
+	Name           string `json:"name"`
+	Succeeded      bool   `json:"succeeded"`
+	Attempts       int    `json:"attempts"`
+	MailboxWrites  int    `json:"mailbox_writes"`
+	BlockedWrites  int    `json:"blocked_writes"`
+	FaultsObserved int    `json:"faults_observed"`
+	Crashes        int    `json:"crashes"`
+	DurationPS     int64  `json:"duration_ps"`
+	Notes          string `json:"notes,omitempty"`
+}
+
+// MachineSummary is one machine's row in the fleet report.
+type MachineSummary struct {
+	Index              int            `json:"index"`
+	Model              string         `json:"model"`
+	Seed               int64          `json:"seed"`
+	GuardChecks        uint64         `json:"guard_checks"`
+	GuardInterventions uint64         `json:"guard_interventions"`
+	Reboots            int            `json:"reboots"`
+	VirtualPS          int64          `json:"virtual_ps"`
+	Attack             *AttackSummary `json:"attack,omitempty"`
+	Err                string         `json:"error,omitempty"`
+}
+
+// Aggregate is the fleet-level rollup, summed in machine-index order.
+type Aggregate struct {
+	Machines           int    `json:"machines"`
+	Errors             int    `json:"errors"`
+	GuardChecks        uint64 `json:"guard_checks"`
+	GuardInterventions uint64 `json:"guard_interventions"`
+	AttacksRun         int    `json:"attacks_run"`
+	AttacksSucceeded   int    `json:"attacks_succeeded"`
+	AttacksDefeated    int    `json:"attacks_defeated"`
+	MailboxWrites      int    `json:"mailbox_writes"`
+	BlockedWrites      int    `json:"blocked_writes"`
+	FaultsObserved     int    `json:"faults_observed"`
+	Crashes            int    `json:"crashes"`
+	Reboots            int    `json:"reboots"`
+	VirtualPS          int64  `json:"virtual_ps"`
+}
+
+// Report is a completed fleet run. Its JSON and the merged exposition are
+// byte-identical across worker counts, which is why the worker count itself
+// is deliberately absent from the report body.
+type Report struct {
+	Fleet struct {
+		Machines int      `json:"machines"`
+		Models   []string `json:"models"`
+		Seed     int64    `json:"seed"`
+		Attack   string   `json:"attack"`
+	} `json:"fleet"`
+	MachineRows []MachineSummary `json:"machines"`
+	Aggregate   Aggregate        `json:"aggregate"`
+	// Merged is the fleet-wide telemetry aggregate: every machine's snapshot
+	// folded through telemetry.MergeSnapshots in index order. Excluded from
+	// the JSON report (it has its own exposition format); render it with
+	// WriteMetrics.
+	Merged *telemetry.Snapshot `json:"-"`
+}
+
+// JSON renders the report deterministically.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteMetrics renders the merged fleet exposition in Prometheus text form.
+func (r *Report) WriteMetrics(w io.Writer) error {
+	return r.Merged.WritePrometheus(w)
+}
+
+// machineResult carries one finished machine from a worker to the merge
+// step: the report row plus the machine's telemetry snapshot.
+type machineResult struct {
+	row  MachineSummary
+	snap *telemetry.Snapshot
+}
+
+// Run simulates the fleet and merges the results. Per-machine failures are
+// recorded in that machine's row (and counted in Aggregate.Errors) rather
+// than aborting the fleet; only configuration errors fail the run.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Machines <= 0 {
+		return nil, errors.New("fleet: need at least one machine")
+	}
+	modelNames := cfg.Models
+	if len(modelNames) == 0 {
+		modelNames = plugvolt.Models()
+	}
+	if cfg.Attack == "" {
+		cfg.Attack = "none"
+	}
+	if !validAttack(cfg.Attack) {
+		return nil, fmt.Errorf("fleet: unknown attack %q (have %v)", cfg.Attack, AttackNames())
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * sim.Millisecond
+	}
+	// One shared spec per distinct model: every machine of that model reuses
+	// its prepared derived cache.
+	specs := make(map[string]*models.Spec, len(modelNames))
+	for _, name := range modelNames {
+		if _, ok := specs[name]; ok {
+			continue
+		}
+		spec, err := models.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		specs[name] = spec
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Machines {
+		workers = cfg.Machines
+	}
+
+	// Index-addressed results: workers write disjoint slots, the merge below
+	// reads them in index order after the barrier — completion order (and
+	// thus the worker count) can never reorder the report.
+	results := make([]machineResult, cfg.Machines)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				model := modelNames[idx%len(modelNames)]
+				results[idx] = runMachine(&cfg, idx, model, specs[model])
+			}
+		}()
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{}
+	rep.Fleet.Machines = cfg.Machines
+	rep.Fleet.Models = modelNames
+	rep.Fleet.Seed = cfg.Seed
+	rep.Fleet.Attack = cfg.Attack
+	rep.Aggregate.Machines = cfg.Machines
+	snaps := make([]*telemetry.Snapshot, 0, cfg.Machines)
+	for i := range results {
+		row := results[i].row
+		rep.MachineRows = append(rep.MachineRows, row)
+		agg := &rep.Aggregate
+		agg.GuardChecks += row.GuardChecks
+		agg.GuardInterventions += row.GuardInterventions
+		agg.Reboots += row.Reboots
+		agg.VirtualPS += row.VirtualPS
+		if row.Err != "" {
+			agg.Errors++
+		}
+		if a := row.Attack; a != nil {
+			agg.AttacksRun++
+			if a.Succeeded {
+				agg.AttacksSucceeded++
+			} else {
+				agg.AttacksDefeated++
+			}
+			agg.MailboxWrites += a.MailboxWrites
+			agg.BlockedWrites += a.BlockedWrites
+			agg.FaultsObserved += a.FaultsObserved
+			agg.Crashes += a.Crashes
+		}
+		if results[i].snap != nil {
+			snaps = append(snaps, results[i].snap)
+		}
+	}
+	merged, err := telemetry.MergeSnapshots(snaps...)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merging telemetry: %w", err)
+	}
+	rep.Merged = merged
+	return rep, nil
+}
+
+func validAttack(name string) bool {
+	for _, n := range AttackNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runMachine simulates one fleet member end to end: boot from the shared
+// spec, characterize (single-sharded), deploy the guard, face the campaign,
+// collect telemetry. Every error is folded into the row so the fleet keeps
+// going; rows are pure functions of (cfg, idx, spec).
+func runMachine(cfg *Config, idx int, model string, spec *models.Spec) machineResult {
+	seed := MachineSeed(cfg.Seed, idx)
+	row := MachineSummary{Index: idx, Model: model, Seed: seed}
+	fail := func(stage string, err error) machineResult {
+		row.Err = fmt.Sprintf("%s: %v", stage, err)
+		return machineResult{row: row}
+	}
+	sys, err := plugvolt.NewSystemFromSpec(spec, seed)
+	if err != nil {
+		return fail("boot", err)
+	}
+	sweep := cfg.Sweep
+	if sweep.Iterations == 0 {
+		sweep = plugvolt.QuickSweep()
+	}
+	// Fleet-level parallelism only: a single shard keeps the sweep's
+	// worker-labeled metrics deterministic and avoids nested goroutine fan-out.
+	sweep.Workers = 1
+	grid, err := sys.Characterize(sweep)
+	if err != nil {
+		return fail("characterize", err)
+	}
+	gcfg := cfg.Guard
+	if gcfg.PollPeriod == 0 {
+		gcfg = plugvolt.DefaultGuardConfig()
+	}
+	pol, err := sys.DeployGuardConfig(grid, gcfg)
+	if err != nil {
+		return fail("deploy", err)
+	}
+	if atk := campaignFor(cfg.Attack, seed); atk != nil {
+		res, err := atk.Run(sys.Env(), pol.Name())
+		if err != nil {
+			return fail("attack", err)
+		}
+		row.Attack = &AttackSummary{
+			Name: res.Attack, Succeeded: res.Succeeded, Attempts: res.Attempts,
+			MailboxWrites: res.MailboxWrites, BlockedWrites: res.BlockedWrites,
+			FaultsObserved: res.FaultsObserved, Crashes: res.Crashes,
+			DurationPS: int64(res.Duration), Notes: res.Notes,
+		}
+	} else {
+		sys.RunFor(cfg.Window)
+	}
+	row.GuardChecks = pol.Guard.Checks
+	row.GuardInterventions = pol.Guard.Interventions
+	row.Reboots = sys.Platform.Reboots
+	row.VirtualPS = int64(sys.Platform.Sim.Now())
+	sys.CollectTelemetry()
+	return machineResult{row: row, snap: sys.Telemetry.Registry().Snapshot()}
+}
+
+// campaignFor builds the per-machine attack campaign; nil means "none".
+func campaignFor(name string, seed int64) attack.Attack {
+	switch name {
+	case "plundervolt":
+		return attack.DefaultPlundervolt(seed)
+	case "voltjockey":
+		return attack.DefaultVoltJockey()
+	case "v0ltpwn":
+		return attack.DefaultV0LTpwn()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"plugvolt/internal/sim"
+)
+
+// renderFleet runs one fleet configuration and renders both report forms.
+func renderFleet(t *testing.T, cfg Config) (reportJSON, metrics []byte) {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return j, buf.Bytes()
+}
+
+// TestFleetDeterminismAcrossWorkers is the tentpole invariant, mirroring the
+// PR 1 sharding contract: the full report JSON and the merged Prometheus
+// exposition must be byte-identical at -workers 1, 2 and 8. Runs under -race
+// in CI (the test job runs the whole suite with the race detector), which
+// also vets the worker pool's disjoint-slot writes.
+func TestFleetDeterminismAcrossWorkers(t *testing.T) {
+	base := Config{Machines: 5, Seed: 99, Attack: "voltjockey"}
+	var wantJSON, wantMetrics []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		j, m := renderFleet(t, cfg)
+		if wantJSON == nil {
+			wantJSON, wantMetrics = j, m
+			continue
+		}
+		if !bytes.Equal(j, wantJSON) {
+			t.Errorf("workers=%d: report JSON diverges from workers=1", workers)
+		}
+		if !bytes.Equal(m, wantMetrics) {
+			t.Errorf("workers=%d: merged exposition diverges from workers=1", workers)
+		}
+	}
+	if !bytes.Contains(wantJSON, []byte(`"voltjockey"`)) {
+		t.Error("report carries no attack outcome")
+	}
+}
+
+// TestFleetGuardProtects sanity-checks the simulated outcome: a guarded
+// mixed fleet under attack sees interventions and no successful campaigns.
+func TestFleetGuardProtects(t *testing.T) {
+	rep, err := Run(Config{Machines: 3, Workers: 2, Seed: 7, Attack: "voltjockey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate.Errors != 0 {
+		t.Fatalf("fleet errors: %+v", rep.MachineRows)
+	}
+	if rep.Aggregate.AttacksRun != 3 || rep.Aggregate.AttacksSucceeded != 0 {
+		t.Fatalf("aggregate %+v: want 3 attacks run, 0 succeeded", rep.Aggregate)
+	}
+	if rep.Aggregate.GuardChecks == 0 || rep.Aggregate.GuardInterventions == 0 {
+		t.Fatalf("aggregate %+v: guard never engaged", rep.Aggregate)
+	}
+	// The default model cycle covers all three specs.
+	models := map[string]bool{}
+	for _, row := range rep.MachineRows {
+		models[row.Model] = true
+	}
+	if len(models) != 3 {
+		t.Fatalf("fleet models %v: want all three specs", models)
+	}
+	// The merged exposition aggregates per-machine series: total polls in
+	// the merged snapshot must equal the sum of per-machine checks.
+	if got := rep.Merged.Total("guard_polls_total"); got != float64(rep.Aggregate.GuardChecks) {
+		t.Fatalf("merged guard_polls_total %v != aggregate checks %d", got, rep.Aggregate.GuardChecks)
+	}
+}
+
+// TestFleetIdleWindow covers the "none" campaign: machines idle under guard
+// for the configured window and accumulate poll checks proportional to it.
+func TestFleetIdleWindow(t *testing.T) {
+	rep, err := Run(Config{Machines: 2, Workers: 2, Seed: 3, Attack: "none",
+		Window: 5 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate.AttacksRun != 0 {
+		t.Fatalf("idle fleet ran %d attacks", rep.Aggregate.AttacksRun)
+	}
+	if rep.Aggregate.Errors != 0 || rep.Aggregate.GuardChecks == 0 {
+		t.Fatalf("aggregate %+v", rep.Aggregate)
+	}
+	for _, row := range rep.MachineRows {
+		if row.VirtualPS < int64(5*sim.Millisecond) {
+			t.Fatalf("machine %d only reached %d ps", row.Index, row.VirtualPS)
+		}
+	}
+}
+
+// TestFleetConfigValidation covers the config error paths.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Machines: 0}); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := Run(Config{Machines: 1, Attack: "rowhammer"}); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if _, err := Run(Config{Machines: 1, Models: []string{"pentium4"}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestMachineSeedProperties pins the seed derivation: index-pure, distinct
+// across a large fleet, and sensitive to the fleet seed.
+func TestMachineSeedProperties(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 4096; i++ {
+		s := MachineSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("MachineSeed(42, %d) == MachineSeed(42, %d)", i, prev)
+		}
+		seen[s] = i
+		if s != MachineSeed(42, i) {
+			t.Fatal("MachineSeed not pure")
+		}
+	}
+	if MachineSeed(1, 0) == MachineSeed(2, 0) {
+		t.Error("fleet seed does not reach machine seeds")
+	}
+}
+
+// TestFleetReportOmitsWorkers guards the invariant structurally: the report
+// must not mention the worker count anywhere, or byte-identity across
+// -workers values becomes accidental instead of designed.
+func TestFleetReportOmitsWorkers(t *testing.T) {
+	rep, err := Run(Config{Machines: 1, Workers: 3, Seed: 1, Attack: "none", Window: sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(j), "workers") {
+		t.Fatal("report JSON leaks the worker count")
+	}
+}

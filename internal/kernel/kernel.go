@@ -203,6 +203,12 @@ type KThread struct {
 	// track is the thread's span-tracer timeline name ("kernel/<name>"),
 	// precomputed so the hot rdmsr/wrmsr path never builds strings.
 	track string
+	// msrAttrs caches the rdmsr/wrmsr span attribute map per (core, addr),
+	// so steady-state MSR traffic neither formats the address nor allocates
+	// a map per call. Cached maps are shared by reference with recorded
+	// spans and never mutated. Kthreads are single-goroutine, so the cache
+	// needs no lock.
+	msrAttrs map[uint64]map[string]any
 	// Ticks counts completed activations.
 	Ticks uint64
 	// Busy is the total CPU time this thread has charged.
@@ -222,20 +228,26 @@ func (k *Kernel) StartKThread(name string, core int, period sim.Duration, fn fun
 		return nil, fmt.Errorf("kernel: kthread %q: period must be positive", name)
 	}
 	t := &KThread{Name: name, Core: core, k: k, track: "kernel/" + name}
+	// The tick span's attributes never change, so one map serves every
+	// activation (shared by reference with recorded spans, never mutated).
+	tickAttrs := map[string]any{"core": core, "thread": name}
 	t.ticker = k.simr.Every(period, func() {
 		t.Ticks++
 		busyBefore := t.Busy
 		t.charge(CostWake, k.Costs.KthreadWake)
 		if k.tel != nil {
-			k.tel.Events().Emit("kthread_wake", map[string]any{
-				"thread": t.Name, "core": t.Core, "tick": t.Ticks,
-			})
+			// Once the journal is full every further wake event would be
+			// rejected anyway, so skip building the per-tick field map and
+			// keep the steady-state tick allocation-free.
+			if j := k.tel.Events(); j != nil && !j.Full() {
+				j.Emit("kthread_wake", map[string]any{
+					"thread": t.Name, "core": t.Core, "tick": t.Ticks,
+				})
+			}
 			// The tick span's duration is the CPU time the activation
 			// charged (wake cost plus whatever fn charges), not a clock
 			// delta: kthread work steals time without advancing the clock.
-			sp := k.tel.Spans().StartRoot(t.track, "kthread_tick", map[string]any{
-				"core": t.Core, "thread": t.Name,
-			})
+			sp := k.tel.Spans().StartRootScope(t.track, "kthread_tick", tickAttrs)
 			fn(t)
 			sp.EndWithCost(t.Busy - busyBefore)
 			return
@@ -257,15 +269,30 @@ func (t *KThread) charge(kind CostKind, d sim.Duration) {
 	t.k.stolenBy[kind][t.Core] += d
 }
 
+// msrSpanAttrs returns the cached span attribute map for (core, addr),
+// building it on first use.
+func (t *KThread) msrSpanAttrs(core int, addr msr.Addr) map[string]any {
+	key := uint64(uint32(core))<<32 | uint64(uint32(addr))
+	if a, ok := t.msrAttrs[key]; ok {
+		return a
+	}
+	if t.msrAttrs == nil {
+		t.msrAttrs = make(map[uint64]map[string]any, 4)
+	}
+	a := map[string]any{"core": core, "addr": fmt.Sprintf("0x%x", uint32(addr))}
+	t.msrAttrs[key] = a
+	return a
+}
+
 // ReadMSR performs a privileged rdmsr on the target core, charging the
-// ioctl cost to the calling thread.
+// ioctl cost to the calling thread. The traced path uses the by-value span
+// Scope and the per-(core, addr) attribute cache, so a steady-state read is
+// allocation-free even with telemetry attached.
 func (t *KThread) ReadMSR(core int, addr msr.Addr) (uint64, error) {
 	t.charge(CostRdmsr, t.k.Costs.Rdmsr)
 	t.k.MSRReads++
 	if t.k.tel != nil {
-		sp := t.k.tel.Spans().Start(t.track, "rdmsr", map[string]any{
-			"core": core, "addr": fmt.Sprintf("0x%x", uint32(addr)),
-		})
+		sp := t.k.tel.Spans().StartScope(t.track, "rdmsr", t.msrSpanAttrs(core, addr))
 		v, err := t.k.hw.MSRFile(core).Read(addr)
 		sp.EndWithCost(t.k.Costs.Rdmsr)
 		return v, err
@@ -281,9 +308,7 @@ func (t *KThread) WriteMSR(core int, addr msr.Addr, val uint64) error {
 	t.charge(CostWrmsr, t.k.Costs.Wrmsr)
 	t.k.MSRWrites++
 	if t.k.tel != nil {
-		sp := t.k.tel.Spans().Start(t.track, "wrmsr", map[string]any{
-			"core": core, "addr": fmt.Sprintf("0x%x", uint32(addr)),
-		})
+		sp := t.k.tel.Spans().StartScope(t.track, "wrmsr", t.msrSpanAttrs(core, addr))
 		err := t.k.hw.MSRFile(core).Write(addr, val)
 		sp.EndWithCost(t.k.Costs.Wrmsr)
 		return err

@@ -95,6 +95,19 @@ func (j *Journal) Emit(typ string, fields map[string]any) {
 	j.mu.Unlock()
 }
 
+// Full reports whether the journal has reached its cap, i.e. whether the
+// next Emit would be rejected under the drop-newest policy. Periodic hot
+// paths check it to skip building event field maps that cannot be retained;
+// events suppressed this way are not counted as dropped. Nil-safe.
+func (j *Journal) Full() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events) >= j.cap
+}
+
 // OnDrop registers a callback invoked once per event rejected at the cap
 // (after the drop is counted, outside the journal lock). A nil journal or
 // nil callback is a no-op.

@@ -257,6 +257,86 @@ func findSeries(m *MetricSnapshot, labels Labels) *SeriesSnapshot {
 	return nil
 }
 
+// MergeSnapshots folds several snapshots — one per fleet machine — into a
+// single aggregate. Matching series (same family name, same label signature)
+// sum: counters and gauges add their values (fleet totals such as stolen
+// seconds or poll counts), histograms add counts, sums and per-bucket
+// cumulative counts. Unmatched series pass through. Families merge by name
+// and series by signature, and the output is emitted with families sorted by
+// name and series by signature, so the merged snapshot depends only on the
+// values in the inputs — all sums are commutative — never on how the inputs
+// were produced or scheduled. AtPS is the maximum input timestamp.
+//
+// A name carrying two different kinds, or two histogram series of one family
+// with different bucket layouts, is an error: those would silently corrupt
+// the aggregate.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	type mergeFam struct {
+		m   MetricSnapshot
+		idx map[string]int // label signature -> index into m.Series
+	}
+	fams := map[string]*mergeFam{}
+	out := &Snapshot{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.AtPS > out.AtPS {
+			out.AtPS = s.AtPS
+		}
+		for _, m := range s.Metrics {
+			f := fams[m.Name]
+			if f == nil {
+				f = &mergeFam{m: MetricSnapshot{Name: m.Name, Help: m.Help, Kind: m.Kind},
+					idx: map[string]int{}}
+				fams[m.Name] = f
+			} else if f.m.Kind != m.Kind {
+				return nil, fmt.Errorf("telemetry: merge: metric %q is both %s and %s",
+					m.Name, f.m.Kind, m.Kind)
+			}
+			for _, ss := range m.Series {
+				sig := ss.Labels.signature()
+				i, ok := f.idx[sig]
+				if !ok {
+					cp := ss
+					cp.Labels = ss.Labels.clone()
+					cp.Buckets = append([]BucketCount(nil), ss.Buckets...)
+					cp.sig = sig
+					f.idx[sig] = len(f.m.Series)
+					f.m.Series = append(f.m.Series, cp)
+					continue
+				}
+				dst := &f.m.Series[i]
+				dst.Value += ss.Value
+				dst.Count += ss.Count
+				dst.Sum += ss.Sum
+				if len(dst.Buckets) != len(ss.Buckets) {
+					return nil, fmt.Errorf("telemetry: merge: metric %q series %s: %d vs %d buckets",
+						m.Name, sig, len(dst.Buckets), len(ss.Buckets))
+				}
+				for b := range ss.Buckets {
+					if dst.Buckets[b].UpperBound != ss.Buckets[b].UpperBound {
+						return nil, fmt.Errorf("telemetry: merge: metric %q series %s: bucket %d bound %g vs %g",
+							m.Name, sig, b, dst.Buckets[b].UpperBound, ss.Buckets[b].UpperBound)
+					}
+					dst.Buckets[b].Cumulative += ss.Buckets[b].Cumulative
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.m.Series, func(i, j int) bool { return f.m.Series[i].sig < f.m.Series[j].sig })
+		out.Metrics = append(out.Metrics, f.m)
+	}
+	return out, nil
+}
+
 // DumpMetrics writes the registry's current snapshot in Prometheus text
 // form to path ("-" means stdout). The shared implementation behind every
 // CLI's -metrics-out flag.

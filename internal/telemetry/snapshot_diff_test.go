@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -159,5 +160,95 @@ func TestDiffValueEscapingInExposition(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `hits{path="a\",b="} 3`) {
 		t.Errorf("tricky value rendered wrong:\n%s", sb.String())
+	}
+}
+
+// mergeFixture builds a registry snapshot with one counter, one gauge and
+// one histogram, scaled by k so merged sums are easy to predict.
+func mergeFixture(k float64) *Snapshot {
+	r := NewRegistry(func() sim.Time { return sim.Time(int64(k) * 100) })
+	r.Counter("polls_total", "", Labels{"core": "0"}).Add(10 * k)
+	r.Counter("polls_total", "", Labels{"core": "1"}).Add(1 * k)
+	r.Gauge("stolen_seconds", "", nil).Set(2 * k)
+	h := r.Histogram("latency", "", []float64{1, 2}, nil)
+	for i := 0; i < int(k); i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	return r.Snapshot()
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a, b := mergeFixture(1), mergeFixture(3)
+	m, err := MergeSnapshots(a, b, nil) // nil inputs are skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AtPS != 300 {
+		t.Errorf("AtPS = %d, want max input 300", m.AtPS)
+	}
+	if got := m.Value("polls_total", Labels{"core": "0"}); got != 40 {
+		t.Errorf("merged counter = %v, want 40", got)
+	}
+	if got := m.Total("polls_total"); got != 44 {
+		t.Errorf("merged counter total = %v, want 44", got)
+	}
+	if got := m.Value("stolen_seconds", nil); got != 8 {
+		t.Errorf("merged gauge = %v, want 8", got)
+	}
+	hs := m.Find("latency")
+	if hs == nil || len(hs.Series) != 1 {
+		t.Fatalf("merged histogram missing: %+v", hs)
+	}
+	s := hs.Series[0]
+	if s.Count != 8 || s.Sum != 8 {
+		t.Errorf("merged histogram count=%d sum=%v, want 8/8", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != 2 || s.Buckets[0].Cumulative != 4 || s.Buckets[1].Cumulative != 8 {
+		t.Errorf("merged buckets %+v", s.Buckets)
+	}
+
+	// Order-invariance: merging (b, a) renders the same bytes as (a, b).
+	m2, err := MergeSnapshots(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := m.JSON()
+	j2, _ := m2.JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Error("merge is input-order sensitive")
+	}
+
+	// Series present in only one input pass through whole.
+	r := NewRegistry(nil)
+	r.Counter("unique_total", "", nil).Add(5)
+	m3, err := MergeSnapshots(a, r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.Value("unique_total", nil); got != 5 {
+		t.Errorf("pass-through series = %v, want 5", got)
+	}
+}
+
+func TestMergeSnapshotsConflicts(t *testing.T) {
+	c := NewRegistry(nil)
+	c.Counter("x", "", nil).Add(1)
+	g := NewRegistry(nil)
+	g.Gauge("x", "", nil).Set(1)
+	if _, err := MergeSnapshots(c.Snapshot(), g.Snapshot()); err == nil {
+		t.Error("kind conflict not rejected")
+	}
+	h1 := NewRegistry(nil)
+	h1.Histogram("h", "", []float64{1}, nil).Observe(0.5)
+	h2 := NewRegistry(nil)
+	h2.Histogram("h", "", []float64{1, 2}, nil).Observe(0.5)
+	if _, err := MergeSnapshots(h1.Snapshot(), h2.Snapshot()); err == nil {
+		t.Error("bucket layout mismatch not rejected")
+	}
+	h3 := NewRegistry(nil)
+	h3.Histogram("h", "", []float64{9}, nil).Observe(0.5)
+	if _, err := MergeSnapshots(h1.Snapshot(), h3.Snapshot()); err == nil {
+		t.Error("bucket bound mismatch not rejected")
 	}
 }

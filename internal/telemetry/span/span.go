@@ -30,7 +30,6 @@
 package span
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -113,29 +112,40 @@ func (t *Tracer) now() sim.Time {
 	return t.clock()
 }
 
+// FNV-64a parameters (matching hash/fnv); the hash is inlined here because
+// fnv.New64a returns its state behind the hash.Hash64 interface, which heap-
+// allocates on every mint — one allocation per span on the guard's poll path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds v's little-endian bytes into h — byte-identical to writing
+// the 8 bytes through hash/fnv.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= uint64(byte(v >> i))
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // mint allocates the next sequence number on track and derives the span ID
-// from (seed, track, seq). Caller holds t.mu.
+// from (seed, track, seq) via FNV-64a. Caller holds t.mu.
 func (t *Tracer) mint(track string) (ID, uint64) {
 	seq := t.seqs[track]
 	t.seqs[track] = seq + 1
-	h := fnv.New64a()
-	var b [8]byte
-	putUint64(&b, uint64(t.seed))
-	h.Write(b[:])
-	h.Write([]byte(track))
-	putUint64(&b, seq)
-	h.Write(b[:])
-	id := ID(h.Sum64())
+	h := fnvUint64(uint64(fnvOffset64), uint64(t.seed))
+	for i := 0; i < len(track); i++ {
+		h ^= uint64(track[i])
+		h *= fnvPrime64
+	}
+	h = fnvUint64(h, seq)
+	id := ID(h)
 	if id == 0 { // reserve zero for "no span"
 		id = 1
 	}
 	return id, seq
-}
-
-func putUint64(b *[8]byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
 }
 
 // record appends a completed span, honoring the cap. Caller holds t.mu.
@@ -252,6 +262,93 @@ func (a *Active) finish(d sim.Duration) {
 		}
 	}
 	t.record(a.span)
+}
+
+// Scope is a by-value active span for allocation-free hot paths. Unlike
+// Start, StartScope never heap-allocates: the Scope lives in the caller's
+// frame. The trade-off is the contract on attrs — the map is retained by
+// reference until the span is recorded at End/EndWithCost, so zero-alloc
+// callers pass a preallocated map they never mutate afterwards (e.g. the
+// guard's per-core poll attributes). There is no SetAttr; a scope's
+// attributes are fixed at start. The zero Scope (and any Scope from a nil
+// tracer) absorbs all calls.
+type Scope struct {
+	t     *Tracer
+	span  Span
+	ended bool
+}
+
+// StartScope opens a span exactly like Start — minted ID, parented under the
+// scope-stack top, recorded when ended — but returns the active span by
+// value. See Scope for the attrs aliasing contract.
+func (t *Tracer) StartScope(track, name string, attrs map[string]any) Scope {
+	return t.startScope(track, name, attrs, false)
+}
+
+// StartRootScope opens a parentless span like StartRoot, by value. Periodic
+// hot paths (the kthread tick wrapper) use it so steady-state tracing never
+// heap-allocates; spans started beneath it still parent under it normally.
+func (t *Tracer) StartRootScope(track, name string, attrs map[string]any) Scope {
+	return t.startScope(track, name, attrs, true)
+}
+
+func (t *Tracer) startScope(track, name string, attrs map[string]any, root bool) Scope {
+	if t == nil {
+		return Scope{}
+	}
+	at := t.now()
+	t.mu.Lock()
+	id, seq := t.mint(track)
+	var parent ID
+	if !root {
+		if n := len(t.stack); n > 0 {
+			parent = t.stack[n-1]
+		}
+	}
+	t.stack = append(t.stack, id)
+	t.mu.Unlock()
+	return Scope{t: t, span: Span{
+		ID: id, Parent: parent, Track: track, Name: name,
+		Start: at, Attrs: attrs, Seq: seq,
+	}}
+}
+
+// ID reports the scope's span ID (zero on the zero Scope).
+func (s *Scope) ID() ID { return s.span.ID }
+
+// End closes the scope with a virtual-clock duration, like (*Active).End.
+func (s *Scope) End() {
+	if s.t == nil || s.ended {
+		return
+	}
+	s.finish(s.t.now() - s.span.Start)
+}
+
+// EndWithCost closes the scope with an explicit CPU-cost duration, like
+// (*Active).EndWithCost. Ending twice is a no-op.
+func (s *Scope) EndWithCost(d sim.Duration) {
+	if s.t == nil || s.ended {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.finish(d)
+}
+
+func (s *Scope) finish(d sim.Duration) {
+	s.ended = true
+	s.span.Dur = d
+	t := s.t
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s.span.ID {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	t.record(s.span)
+	t.mu.Unlock()
 }
 
 // Complete records an already-finished span in one call, parented under the

@@ -2,7 +2,9 @@ package span
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"hash/fnv"
 	"strings"
 	"testing"
 
@@ -262,5 +264,131 @@ func TestEndTwiceAndScopeUnwind(t *testing.T) {
 		if s.Name == "late" && s.Parent != 0 {
 			t.Fatalf("late span inherited stale parent %x", s.Parent)
 		}
+	}
+}
+
+// TestMintMatchesFNV pins the inlined FNV-64a in mint to the hash/fnv
+// reference: span IDs are part of the golden-artifact contract, so the
+// allocation-free rewrite must mint bit-identical IDs.
+func TestMintMatchesFNV(t *testing.T) {
+	ref := func(seed int64, track string, seq uint64) ID {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(seed))
+		h.Write(b[:])
+		h.Write([]byte(track))
+		binary.LittleEndian.PutUint64(b[:], seq)
+		h.Write(b[:])
+		id := ID(h.Sum64())
+		if id == 0 {
+			id = 1
+		}
+		return id
+	}
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40, -(1 << 40)} {
+		tr := NewTracer(nil, seed, 0)
+		for _, track := range []string{"", "guard", "kernel/plug_your_volt/3", "msr/core1"} {
+			for want := uint64(0); want < 5; want++ {
+				tr.mu.Lock()
+				id, seq := tr.mint(track)
+				tr.mu.Unlock()
+				if seq != want {
+					t.Fatalf("seed %d track %q: seq = %d, want %d", seed, track, seq, want)
+				}
+				if exp := ref(seed, track, seq); id != exp {
+					t.Fatalf("seed %d track %q seq %d: id = %x, want fnv %x", seed, track, seq, id, exp)
+				}
+			}
+		}
+	}
+}
+
+// TestScopeMirrorsActive runs the same emission program through the pointer
+// (Start/Active) and value (StartScope/Scope) APIs: recorded spans must be
+// identical — IDs, parents, order, durations — so instrumented code can move
+// to the zero-alloc form without touching golden traces.
+func TestScopeMirrorsActive(t *testing.T) {
+	viaActive := func() []Span {
+		c := &fakeClock{}
+		tr := NewTracer(c.clock, 7, 0)
+		tick := tr.Start("kernel/g", "tick", map[string]any{"core": 0})
+		poll := tr.Start("guard", "poll", map[string]any{"core": 1})
+		rd := tr.Start("kernel/g", "rdmsr", map[string]any{"addr": "0x198"})
+		rd.EndWithCost(50 * sim.Nanosecond)
+		poll.EndWithCost(700 * sim.Nanosecond)
+		c.now += 100 * sim.Microsecond
+		tick.End()
+		return tr.Spans()
+	}
+	viaScope := func() []Span {
+		c := &fakeClock{}
+		tr := NewTracer(c.clock, 7, 0)
+		tick := tr.StartScope("kernel/g", "tick", map[string]any{"core": 0})
+		poll := tr.StartScope("guard", "poll", map[string]any{"core": 1})
+		rd := tr.StartScope("kernel/g", "rdmsr", map[string]any{"addr": "0x198"})
+		rd.EndWithCost(50 * sim.Nanosecond)
+		poll.EndWithCost(700 * sim.Nanosecond)
+		c.now += 100 * sim.Microsecond
+		tick.End()
+		return tr.Spans()
+	}
+	a, s := viaActive(), viaScope()
+	if len(a) != len(s) || len(a) != 3 {
+		t.Fatalf("span counts: active %d, scope %d (want 3)", len(a), len(s))
+	}
+	for i := range a {
+		if a[i].ID != s[i].ID || a[i].Parent != s[i].Parent || a[i].Track != s[i].Track ||
+			a[i].Name != s[i].Name || a[i].Start != s[i].Start || a[i].Dur != s[i].Dur ||
+			a[i].Seq != s[i].Seq {
+			t.Errorf("span %d differs: active %+v, scope %+v", i, a[i], s[i])
+		}
+	}
+}
+
+// TestScopeZeroValueAndDoubleEnd covers the inert paths: the zero Scope (and
+// a nil tracer's Scope) absorbs calls, and a scope ends at most once.
+func TestScopeZeroValueAndDoubleEnd(t *testing.T) {
+	var nilTr *Tracer
+	s := nilTr.StartScope("t", "x", nil)
+	s.End()
+	s.EndWithCost(5)
+	if s.ID() != 0 {
+		t.Fatalf("nil tracer scope has ID %x", s.ID())
+	}
+	var zero Scope
+	zero.End() // must not panic
+
+	tr := NewTracer(nil, 3, 0)
+	sc := tr.StartScope("t", "x", nil)
+	sc.EndWithCost(10)
+	sc.EndWithCost(20)
+	sc.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Dur != 10 {
+		t.Fatalf("double-ended scope recorded %+v, want one span of dur 10", spans)
+	}
+}
+
+// TestScopeSteadyStateZeroAlloc is the tracer-level half of the guard's
+// zero-alloc contract: once the span buffer is full (drop-newest steady
+// state) and the track's seq entry exists, StartScope+EndWithCost must not
+// allocate.
+func TestScopeSteadyStateZeroAlloc(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracer(c.clock, 11, 8)
+	attrs := map[string]any{"core": 0}
+	for i := 0; i < 16; i++ { // fill buffer + warm seqs/stack capacity
+		sc := tr.StartScope("guard", "poll", attrs)
+		sc.EndWithCost(700 * sim.Nanosecond)
+	}
+	if tr.Len() != 8 || tr.Dropped() == 0 {
+		t.Fatalf("warm-up: len=%d dropped=%d, want full buffer", tr.Len(), tr.Dropped())
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc := tr.StartScope("guard", "poll", attrs)
+		sc.EndWithCost(700 * sim.Nanosecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("StartScope/EndWithCost allocates %.1f per span in steady state, want 0", allocs)
 	}
 }
