@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo fleet-demo
+.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo fleet-demo fleet-stream-demo
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # or feed the raw fields to benchstat (see EXPERIMENTS.md).
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput' \
+	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput|FleetStreaming' \
 		-benchtime 300x -count 5 -run '^$$' -timeout 30m . ; \
 	  $(GO) test -bench . -benchtime 300x -count 5 -run '^$$' \
 		./internal/sim ./internal/timing ; } \
@@ -94,3 +94,16 @@ fleet-demo:
 	@echo
 	@echo "== merged exposition highlights"
 	@grep -E '^(guard_|attack_)' fleet.prom | head -12
+
+# Streaming-engine demo: a checkpointed idle-guard fleet with the window
+# sliced into epochs, O(batch) resident memory, and per-model rollups.
+# Interrupt with ^C and rerun with -resume fleet.ckpt to continue; the
+# final report is byte-identical to an uninterrupted run (EXPERIMENTS.md
+# has the million-machine-window recipe).
+fleet-stream-demo:
+	$(GO) run ./cmd/plugvolt-fleet -stream -machines 1000 -epochs 4 \
+		-attack none -window 2ms -batch 128 -progress \
+		-checkpoint fleet.ckpt -out fleet.json -metrics-out fleet.prom
+	@echo
+	@echo "== merged exposition highlights"
+	@grep -E '^guard_' fleet.prom | head -8

@@ -512,6 +512,41 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	b.ReportMetric(float64(machines*b.N)/b.Elapsed().Seconds(), "machines/s")
 }
 
+// Fleet streaming — the O(batch) epoch engine: the same mixed fleet carried
+// through epoch-sliced guard windows in bounded batches, with telemetry
+// folded incrementally. machine-windows/s is the headline metric and
+// heap-high-water-MB is the fleet memory assertion the bench-json artifact
+// tracks: it must scale with the batch, never with the fleet.
+func BenchmarkFleetStreaming(b *testing.B) {
+	const machines, epochs, batchSize = 12, 4, 3
+	var highWater uint64
+	for i := 0; i < b.N; i++ {
+		cfg := fleet.StreamConfig{
+			Config: fleet.Config{Machines: machines, Seed: 42, Attack: "none",
+				Window: 2 * sim.Millisecond},
+			Epochs: epochs,
+			Batch:  batchSize,
+			Progress: func(p fleet.Progress) {
+				if p.HeapBytes > highWater {
+					highWater = p.HeapBytes
+				}
+				if p.Resident > batchSize {
+					b.Fatalf("resident %d exceeds batch %d", p.Resident, batchSize)
+				}
+			},
+		}
+		rep, err := fleet.RunStream(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Aggregate.Errors != 0 || rep.Aggregate.GuardChecks == 0 {
+			b.Fatalf("fleet aggregate %+v", rep.Aggregate)
+		}
+	}
+	b.ReportMetric(float64(machines*epochs*b.N)/b.Elapsed().Seconds(), "machine-windows/s")
+	b.ReportMetric(float64(highWater)/(1<<20), "heap-high-water-MB")
+}
+
 // Ablation: adaptive bisection vs the full Algorithm 2 scan — probes spent
 // to obtain a guard-ready unsafe set.
 func BenchmarkAblationAdaptiveVsSweep(b *testing.B) {

@@ -1,103 +1,268 @@
 // plugvolt-fleet simulates a guarded machine fleet: N independent systems
 // with mixed CPU models, each characterized, protected by the polling
-// countermeasure, and run through an attack campaign, simulated across a
-// worker pool. The aggregate report and the merged metric exposition are
-// byte-identical for any -workers value (the PR 1 sharding invariant at
-// fleet scale), so fleet outputs are diffable artifacts.
+// countermeasure, and run through an attack campaign or an idle guard
+// window, simulated across a worker pool.
+//
+// Two engines share one determinism contract — the report and the merged
+// metric exposition are byte-identical for any execution shape:
+//
+//   - The one-shot engine (default) keeps a per-machine row for every
+//     machine; its outputs are invariant across -workers.
+//   - The streaming epoch engine (-stream, or implied by -epochs, -batch,
+//     -checkpoint or -resume) holds only one batch of machines resident at
+//     a time, folds telemetry incrementally, and checkpoints after every
+//     batch; its outputs are additionally invariant across -batch, -epochs
+//     and any kill/-resume point. This is the engine for million
+//     machine-window runs on a laptop.
 //
 // Usage:
 //
 //	plugvolt-fleet -machines 24 -attack plundervolt
 //	plugvolt-fleet -machines 100 -workers 8 -attack voltjockey -metrics-out fleet.prom
-//	plugvolt-fleet -machines 12 -models skylake,cometlake -out fleet.json
+//	plugvolt-fleet -stream -machines 250000 -epochs 4 -attack none \
+//	    -batch 512 -checkpoint fleet.ckpt -out fleet.json
+//	plugvolt-fleet -stream -machines 250000 -epochs 4 -attack none \
+//	    -resume fleet.ckpt -checkpoint fleet.ckpt -out fleet.json
+//
+// Exit codes: 0 success; 1 configuration or runtime error; 2 usage error;
+// 3 partial fleet (some machines failed; see the report); 4 halted by
+// SIGINT at a batch boundary (resume with -resume).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/fleet"
+	"plugvolt/internal/obs"
 	"plugvolt/internal/sim"
+	"plugvolt/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: flag parsing, engine
+// selection, output rendering and exit-code policy, with no direct os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("plugvolt-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		machines   = flag.Int("machines", 8, "fleet size")
-		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); never changes any output byte")
-		modelsFlag = flag.String("models", "", "comma-separated CPU models cycled across the fleet (default: all models)")
-		seed       = flag.Int64("seed", 42, "fleet seed; machine i derives its own seed from it")
-		attackName = flag.String("attack", "plundervolt", fmt.Sprintf("campaign every machine faces: %s", strings.Join(fleet.AttackNames(), ", ")))
-		window     = flag.Duration("window", 10*time.Millisecond, `virtual idle time under guard when -attack none`)
-		out        = flag.String("out", "", `write the fleet report JSON here ("-" = stdout; default stdout summary only)`)
-		metricsOut = flag.String("metrics-out", "", `write the merged Prometheus exposition here ("-" = stdout)`)
-		version    = flag.Bool("version", false, "print build information and exit")
+		machines   = fs.Int("machines", 8, "fleet size")
+		workers    = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); never changes any output byte")
+		modelsFlag = fs.String("models", "", "comma-separated CPU models cycled across the fleet (default: all models)")
+		seed       = fs.Int64("seed", 42, "fleet seed; machine i derives its own seed from it")
+		attackName = fs.String("attack", "plundervolt", fmt.Sprintf("campaign every machine faces: %s", strings.Join(fleet.AttackNames(), ", ")))
+		window     = fs.Duration("window", 10*time.Millisecond, `virtual idle time under guard when -attack none`)
+		stream     = fs.Bool("stream", false, "use the streaming epoch engine (implied by -epochs, -batch, -checkpoint, -resume)")
+		epochs     = fs.Int("epochs", 1, "time slices per machine window (streaming; machine-windows = machines x epochs); never changes any output byte")
+		batch      = fs.Int("batch", 0, "machines resident at once (streaming; 0 = auto); bounds memory, never changes any output byte")
+		checkpoint = fs.String("checkpoint", "", "write a resumable checkpoint here after every batch (streaming)")
+		resumePath = fs.String("resume", "", "resume a previous run from this checkpoint file (streaming)")
+		progress   = fs.Bool("progress", false, "print a progress line to stderr after every batch (streaming)")
+		listen     = fs.String("listen", "", "serve live fleet progress gauges over HTTP at this address (streaming; e.g. :9090)")
+		out        = fs.String("out", "", `write the fleet report JSON here ("-" = stdout; default stdout summary only)`)
+		metricsOut = fs.String("metrics-out", "", `write the merged Prometheus exposition here ("-" = stdout)`)
+		version    = fs.Bool("version", false, "print build information and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "plugvolt-fleet: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 	if *version {
-		buildinfo.Fprint(os.Stdout, "plugvolt-fleet")
-		return
+		buildinfo.Fprint(stdout, "plugvolt-fleet")
+		return 0
+	}
+	if *batch > *machines {
+		fmt.Fprintf(stderr, "plugvolt-fleet: -batch %d exceeds -machines %d\n", *batch, *machines)
+		return 2
 	}
 
-	cfg := fleet.Config{
-		Machines: *machines,
-		Workers:  *workers,
-		Seed:     *seed,
-		Attack:   *attackName,
-		Window:   sim.Duration(window.Nanoseconds()) * sim.Nanosecond,
+	cfg := fleet.StreamConfig{
+		Config: fleet.Config{
+			Machines: *machines,
+			Workers:  *workers,
+			Seed:     *seed,
+			Attack:   *attackName,
+			Window:   sim.Duration(window.Nanoseconds()) * sim.Nanosecond,
+		},
+		Epochs:         *epochs,
+		Batch:          *batch,
+		CheckpointPath: *checkpoint,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
 	}
+	streaming := *stream || *epochs > 1 || *batch > 0 || *checkpoint != "" || *resumePath != "" || *listen != "" || *progress
 
-	rep, err := fleet.Run(cfg)
-	if err != nil {
-		fatal(err)
+	if !streaming {
+		rep, err := fleet.Run(cfg.Config)
+		return finish(rep, err, cfg, stdout, stderr, *out, *metricsOut, "")
 	}
 
-	agg := rep.Aggregate
-	fmt.Printf("== fleet: %d machines (%s), attack %s, seed %d\n",
-		agg.Machines, strings.Join(rep.Fleet.Models, "/"), rep.Fleet.Attack, rep.Fleet.Seed)
-	fmt.Printf("guard: %d checks, %d interventions across the fleet\n",
+	if *resumePath != "" {
+		ck, err := fleet.ReadCheckpointFile(*resumePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "plugvolt-fleet:", err)
+			return 1
+		}
+		cfg.Resume = ck
+		fmt.Fprintf(stderr, "plugvolt-fleet: resuming at %d/%d machines (%d batches done)\n",
+			ck.MachinesDone, ck.Machines, ck.BatchesDone)
+	}
+
+	// Live observability: machine-windows completed is the fleet-level
+	// virtual clock, and the progress gauges are served from their own
+	// telemetry set — the report's merged exposition must stay a pure
+	// function of the experiment, so the live surface never touches it.
+	var windowsDone atomic.Int64
+	if *listen != "" {
+		live := telemetry.NewSet(func() sim.Time { return sim.Time(windowsDone.Load()) },
+			telemetry.DefaultJournalCap, *seed)
+		cfg.Live = live
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "plugvolt-fleet: -listen:", err)
+			return 1
+		}
+		defer ln.Close()
+		srv := &obs.Server{Telemetry: live, Clock: func() sim.Time { return sim.Time(windowsDone.Load()) }}
+		go http.Serve(ln, srv.Handler()) //nolint:errcheck // closed on return
+		fmt.Fprintf(stderr, "plugvolt-fleet: serving live progress on http://%s/metrics\n", ln.Addr())
+	}
+	showProgress := *progress
+	cfg.Progress = func(p fleet.Progress) {
+		windowsDone.Store(p.WindowsDone)
+		if showProgress {
+			fmt.Fprintf(stderr, "plugvolt-fleet: %d/%d machine-windows (%d/%d machines, %d batches, %d errors, heap %.1f MiB)\n",
+				p.WindowsDone, p.Windows, p.MachinesDone, p.Machines, p.BatchesDone, p.Errors,
+				float64(p.HeapBytes)/(1<<20))
+		}
+	}
+
+	// SIGINT lands the run at the next batch boundary — after that
+	// boundary's checkpoint is on disk — instead of mid-simulation.
+	var halt atomic.Bool
+	if *checkpoint != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt)
+		defer signal.Stop(sigc)
+		go func() {
+			if _, ok := <-sigc; ok {
+				halt.Store(true)
+			}
+		}()
+		cfg.Halt = func(fleet.Progress) bool { return halt.Load() }
+	}
+
+	rep, err := fleet.RunStream(cfg)
+	if errors.Is(err, fleet.ErrHalted) {
+		fmt.Fprintf(stderr, "plugvolt-fleet: halted at a batch boundary; resume with -resume %s\n", *checkpoint)
+		return 4
+	}
+	return finish(rep, err, cfg, stdout, stderr, *out, *metricsOut, *checkpoint)
+}
+
+// reporter is the surface the two report types share.
+type reporter interface {
+	JSON() ([]byte, error)
+	WriteMetrics(w io.Writer) error
+}
+
+// finish renders the summary and requested outputs for either engine and
+// maps the error to the exit-code policy.
+func finish(rep reporter, err error, cfg fleet.StreamConfig, stdout, stderr io.Writer, out, metricsOut, checkpoint string) int {
+	var partial *fleet.PartialError
+	if err != nil && !errors.As(err, &partial) {
+		fmt.Fprintln(stderr, "plugvolt-fleet:", err)
+		return 1
+	}
+
+	switch r := rep.(type) {
+	case *fleet.Report:
+		agg := r.Aggregate
+		fmt.Fprintf(stdout, "== fleet: %d machines (%s), attack %s, seed %d\n",
+			agg.Machines, strings.Join(r.Fleet.Models, "/"), r.Fleet.Attack, r.Fleet.Seed)
+		summarize(stdout, agg)
+	case *fleet.StreamReport:
+		agg := r.Aggregate
+		epochs := int64(1)
+		if cfg.Epochs > 1 {
+			epochs = int64(cfg.Epochs)
+		}
+		fmt.Fprintf(stdout, "== fleet stream: %d machines x %d epochs = %d machine-windows (%s), attack %s, seed %d\n",
+			agg.Machines, epochs, int64(agg.Machines)*epochs,
+			strings.Join(r.Fleet.Models, "/"), r.Fleet.Attack, r.Fleet.Seed)
+		summarize(stdout, agg)
+		for _, m := range r.ModelRows {
+			fmt.Fprintf(stdout, "  %-12s %6d machines, %d checks, %d interventions, %d errors\n",
+				m.Model, m.Machines, m.GuardChecks, m.GuardInterventions, m.Errors)
+		}
+	}
+
+	if out != "" {
+		if werr := writeTo(out, stdout, func(w io.Writer) error {
+			data, jerr := rep.JSON()
+			if jerr != nil {
+				return jerr
+			}
+			_, jerr = w.Write(append(data, '\n'))
+			return jerr
+		}); werr != nil {
+			fmt.Fprintln(stderr, "plugvolt-fleet:", werr)
+			return 1
+		}
+	}
+	if metricsOut != "" {
+		if werr := writeTo(metricsOut, stdout, rep.WriteMetrics); werr != nil {
+			fmt.Fprintln(stderr, "plugvolt-fleet:", werr)
+			return 1
+		}
+	}
+
+	if partial != nil {
+		fmt.Fprintf(stderr, "plugvolt-fleet: %d machine(s) failed:\n", partial.Total)
+		for _, f := range partial.Failures {
+			fmt.Fprintf(stderr, "  %s\n", f.Error())
+		}
+		if partial.Total > len(partial.Failures) {
+			fmt.Fprintf(stderr, "  ... and %d more\n", partial.Total-len(partial.Failures))
+		}
+		return 3
+	}
+	return 0
+}
+
+// summarize prints the aggregate lines both engines share.
+func summarize(stdout io.Writer, agg fleet.Aggregate) {
+	fmt.Fprintf(stdout, "guard: %d checks, %d interventions across the fleet\n",
 		agg.GuardChecks, agg.GuardInterventions)
 	if agg.AttacksRun > 0 {
-		fmt.Printf("attacks: %d run, %d defeated, %d succeeded; %d mailbox writes (%d blocked), %d faults, %d crashes\n",
+		fmt.Fprintf(stdout, "attacks: %d run, %d defeated, %d succeeded; %d mailbox writes (%d blocked), %d faults, %d crashes\n",
 			agg.AttacksRun, agg.AttacksDefeated, agg.AttacksSucceeded,
 			agg.MailboxWrites, agg.BlockedWrites, agg.FaultsObserved, agg.Crashes)
 	}
-	fmt.Printf("fleet virtual time: %v; reboots: %d; machine errors: %d\n",
+	fmt.Fprintf(stdout, "fleet virtual time: %v; reboots: %d; machine errors: %d\n",
 		sim.Duration(agg.VirtualPS), agg.Reboots, agg.Errors)
-
-	if *out != "" {
-		if err := writeTo(*out, func(w io.Writer) error {
-			data, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			_, err = w.Write(append(data, '\n'))
-			return err
-		}); err != nil {
-			fatal(err)
-		}
-	}
-	if *metricsOut != "" {
-		if err := writeTo(*metricsOut, rep.WriteMetrics); err != nil {
-			fatal(err)
-		}
-	}
-	if agg.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "plugvolt-fleet: %d machine(s) failed; see the report rows\n", agg.Errors)
-		os.Exit(3)
-	}
 }
 
-func writeTo(path string, render func(io.Writer) error) error {
+func writeTo(path string, stdout io.Writer, render func(io.Writer) error) error {
 	if path == "-" {
-		return render(os.Stdout)
+		return render(stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -108,9 +273,4 @@ func writeTo(path string, render func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "plugvolt-fleet:", err)
-	os.Exit(1)
 }

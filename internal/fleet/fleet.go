@@ -43,6 +43,67 @@ import (
 // idles the fleet under guard for Config.Window instead of attacking it.
 func AttackNames() []string { return []string{"plundervolt", "voltjockey", "v0ltpwn", "none"} }
 
+// MachineError is one machine's failure: which machine, which lifecycle
+// stage ("boot", "characterize", "deploy", "attack") and why. The cause is
+// carried as a string so the error is checkpoint- and JSON-serializable.
+type MachineError struct {
+	Index int    `json:"index"`
+	Model string `json:"model"`
+	Stage string `json:"stage"`
+	Cause string `json:"cause"`
+}
+
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("machine %d (%s): %s: %s", e.Index, e.Model, e.Stage, e.Cause)
+}
+
+// maxRecordedFailures bounds how many MachineErrors a PartialError retains
+// verbatim; Total keeps the full count so a million-machine run with a
+// systematic failure cannot balloon the error (or a checkpoint) itself.
+const maxRecordedFailures = 16
+
+// PartialError reports that the fleet completed but some machines failed.
+// Run and RunStream return it alongside a fully-populated report: the
+// healthy machines' results are valid, and the caller decides whether a
+// partial fleet is acceptable. Failures are listed in machine-index order,
+// capped at maxRecordedFailures; Total counts every failure.
+type PartialError struct {
+	Total    int             `json:"total"`
+	Failures []*MachineError `json:"failures"`
+}
+
+func (e *PartialError) Error() string {
+	if len(e.Failures) == 0 {
+		return fmt.Sprintf("fleet: %d machine(s) failed", e.Total)
+	}
+	msg := fmt.Sprintf("fleet: %d machine(s) failed; first: %s", e.Total, e.Failures[0].Error())
+	if e.Total > len(e.Failures) {
+		msg += fmt.Sprintf(" (+%d more not recorded)", e.Total-len(e.Failures))
+	}
+	return msg
+}
+
+// record appends a failure, honouring the cap.
+func (e *PartialError) record(me *MachineError) {
+	e.Total++
+	if len(e.Failures) < maxRecordedFailures {
+		e.Failures = append(e.Failures, me)
+	}
+}
+
+// failpoint, when non-nil, injects an error at the named lifecycle stage of
+// machine idx. Test-only hook: it lets the partial-failure contract be
+// exercised per stage and per machine without contriving real hardware
+// failures. Set before calling Run/RunStream, restore after it returns.
+var failpoint func(stage string, idx int) error
+
+func injectedFailure(stage string, idx int) error {
+	if failpoint == nil {
+		return nil
+	}
+	return failpoint(stage, idx)
+}
+
 // Config parameterizes a fleet run.
 type Config struct {
 	// Machines is the fleet size.
@@ -152,44 +213,23 @@ func (r *Report) WriteMetrics(w io.Writer) error {
 }
 
 // machineResult carries one finished machine from a worker to the merge
-// step: the report row plus the machine's telemetry snapshot.
+// step: the report row, the machine's telemetry snapshot, and its typed
+// failure (nil for a healthy machine).
 type machineResult struct {
 	row  MachineSummary
 	snap *telemetry.Snapshot
+	err  *MachineError
 }
 
 // Run simulates the fleet and merges the results. Per-machine failures are
-// recorded in that machine's row (and counted in Aggregate.Errors) rather
-// than aborting the fleet; only configuration errors fail the run.
+// recorded in that machine's row (and counted in Aggregate.Errors), and the
+// run keeps going; when any machine failed, the fully-populated report is
+// returned together with a *PartialError naming each failed machine and
+// stage. Only configuration errors abort the run with a nil report.
 func Run(cfg Config) (*Report, error) {
-	if cfg.Machines <= 0 {
-		return nil, errors.New("fleet: need at least one machine")
-	}
-	modelNames := cfg.Models
-	if len(modelNames) == 0 {
-		modelNames = plugvolt.Models()
-	}
-	if cfg.Attack == "" {
-		cfg.Attack = "none"
-	}
-	if !validAttack(cfg.Attack) {
-		return nil, fmt.Errorf("fleet: unknown attack %q (have %v)", cfg.Attack, AttackNames())
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 10 * sim.Millisecond
-	}
-	// One shared spec per distinct model: every machine of that model reuses
-	// its prepared derived cache.
-	specs := make(map[string]*models.Spec, len(modelNames))
-	for _, name := range modelNames {
-		if _, ok := specs[name]; ok {
-			continue
-		}
-		spec, err := models.ByName(name)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: %w", err)
-		}
-		specs[name] = spec
+	modelNames, specs, err := cfg.normalize()
+	if err != nil {
+		return nil, err
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -211,7 +251,7 @@ func Run(cfg Config) (*Report, error) {
 			defer wg.Done()
 			for idx := range jobs {
 				model := modelNames[idx%len(modelNames)]
-				results[idx] = runMachine(&cfg, idx, model, specs[model])
+				results[idx] = runMachine(&cfg, idx, model, specs[model], 1)
 			}
 		}()
 	}
@@ -227,29 +267,14 @@ func Run(cfg Config) (*Report, error) {
 	rep.Fleet.Seed = cfg.Seed
 	rep.Fleet.Attack = cfg.Attack
 	rep.Aggregate.Machines = cfg.Machines
+	partial := &PartialError{}
 	snaps := make([]*telemetry.Snapshot, 0, cfg.Machines)
 	for i := range results {
 		row := results[i].row
 		rep.MachineRows = append(rep.MachineRows, row)
-		agg := &rep.Aggregate
-		agg.GuardChecks += row.GuardChecks
-		agg.GuardInterventions += row.GuardInterventions
-		agg.Reboots += row.Reboots
-		agg.VirtualPS += row.VirtualPS
-		if row.Err != "" {
-			agg.Errors++
-		}
-		if a := row.Attack; a != nil {
-			agg.AttacksRun++
-			if a.Succeeded {
-				agg.AttacksSucceeded++
-			} else {
-				agg.AttacksDefeated++
-			}
-			agg.MailboxWrites += a.MailboxWrites
-			agg.BlockedWrites += a.BlockedWrites
-			agg.FaultsObserved += a.FaultsObserved
-			agg.Crashes += a.Crashes
+		foldRow(&rep.Aggregate, &row)
+		if results[i].err != nil {
+			partial.record(results[i].err)
 		}
 		if results[i].snap != nil {
 			snaps = append(snaps, results[i].snap)
@@ -260,7 +285,69 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("fleet: merging telemetry: %w", err)
 	}
 	rep.Merged = merged
+	if partial.Total > 0 {
+		return rep, partial
+	}
 	return rep, nil
+}
+
+// normalize validates the configuration, defaults the attack and window, and
+// resolves the model cycle to shared Specs: one *models.Spec per distinct
+// model, so every machine of that model reuses its prepared derived cache.
+func (cfg *Config) normalize() ([]string, map[string]*models.Spec, error) {
+	if cfg.Machines <= 0 {
+		return nil, nil, errors.New("fleet: need at least one machine")
+	}
+	modelNames := cfg.Models
+	if len(modelNames) == 0 {
+		modelNames = plugvolt.Models()
+	}
+	if cfg.Attack == "" {
+		cfg.Attack = "none"
+	}
+	if !validAttack(cfg.Attack) {
+		return nil, nil, fmt.Errorf("fleet: unknown attack %q (have %v)", cfg.Attack, AttackNames())
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * sim.Millisecond
+	}
+	specs := make(map[string]*models.Spec, len(modelNames))
+	for _, name := range modelNames {
+		if _, ok := specs[name]; ok {
+			continue
+		}
+		spec, err := models.ByName(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: %w", err)
+		}
+		specs[name] = spec
+	}
+	return modelNames, specs, nil
+}
+
+// foldRow accumulates one machine row into the aggregate. Both engines and
+// the checkpoint resume path fold through this single function, in machine
+// index order, so their aggregates are identical by construction.
+func foldRow(agg *Aggregate, row *MachineSummary) {
+	agg.GuardChecks += row.GuardChecks
+	agg.GuardInterventions += row.GuardInterventions
+	agg.Reboots += row.Reboots
+	agg.VirtualPS += row.VirtualPS
+	if row.Err != "" {
+		agg.Errors++
+	}
+	if a := row.Attack; a != nil {
+		agg.AttacksRun++
+		if a.Succeeded {
+			agg.AttacksSucceeded++
+		} else {
+			agg.AttacksDefeated++
+		}
+		agg.MailboxWrites += a.MailboxWrites
+		agg.BlockedWrites += a.BlockedWrites
+		agg.FaultsObserved += a.FaultsObserved
+		agg.Crashes += a.Crashes
+	}
 }
 
 func validAttack(name string) bool {
@@ -273,15 +360,28 @@ func validAttack(name string) bool {
 }
 
 // runMachine simulates one fleet member end to end: boot from the shared
-// spec, characterize (single-sharded), deploy the guard, face the campaign,
-// collect telemetry. Every error is folded into the row so the fleet keeps
-// going; rows are pure functions of (cfg, idx, spec).
-func runMachine(cfg *Config, idx int, model string, spec *models.Spec) machineResult {
+// spec, characterize (single-sharded), deploy the guard, face the campaign
+// (or idle the guard window in epochs fixed time slices — slicing advances
+// the same simulator through the same events, so the epoch count never
+// changes a result byte), collect telemetry. Every error is folded into the
+// row and surfaced as a typed MachineError so the fleet keeps going; rows
+// are pure functions of (cfg, idx, spec).
+func runMachine(cfg *Config, idx int, model string, spec *models.Spec, epochs int) machineResult {
 	seed := MachineSeed(cfg.Seed, idx)
 	row := MachineSummary{Index: idx, Model: model, Seed: seed}
 	fail := func(stage string, err error) machineResult {
 		row.Err = fmt.Sprintf("%s: %v", stage, err)
-		return machineResult{row: row}
+		return machineResult{row: row,
+			err: &MachineError{Index: idx, Model: model, Stage: stage, Cause: err.Error()}}
+	}
+	stage := func(name string) (machineResult, error) {
+		if err := injectedFailure(name, idx); err != nil {
+			return fail(name, err), err
+		}
+		return machineResult{}, nil
+	}
+	if res, err := stage("boot"); err != nil {
+		return res
 	}
 	sys, err := plugvolt.NewSystemFromSpec(spec, seed)
 	if err != nil {
@@ -294,6 +394,9 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec) machineRe
 	// Fleet-level parallelism only: a single shard keeps the sweep's
 	// worker-labeled metrics deterministic and avoids nested goroutine fan-out.
 	sweep.Workers = 1
+	if res, err := stage("characterize"); err != nil {
+		return res
+	}
 	grid, err := sys.Characterize(sweep)
 	if err != nil {
 		return fail("characterize", err)
@@ -302,11 +405,17 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec) machineRe
 	if gcfg.PollPeriod == 0 {
 		gcfg = plugvolt.DefaultGuardConfig()
 	}
+	if res, err := stage("deploy"); err != nil {
+		return res
+	}
 	pol, err := sys.DeployGuardConfig(grid, gcfg)
 	if err != nil {
 		return fail("deploy", err)
 	}
 	if atk := campaignFor(cfg.Attack, seed); atk != nil {
+		if res, err := stage("attack"); err != nil {
+			return res
+		}
 		res, err := atk.Run(sys.Env(), pol.Name())
 		if err != nil {
 			return fail("attack", err)
@@ -318,7 +427,19 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec) machineRe
 			DurationPS: int64(res.Duration), Notes: res.Notes,
 		}
 	} else {
-		sys.RunFor(cfg.Window)
+		if epochs < 1 {
+			epochs = 1
+		}
+		slice := cfg.Window / sim.Duration(epochs)
+		for e := 0; e < epochs; e++ {
+			d := slice
+			if e == epochs-1 {
+				// Last slice absorbs the division remainder so the total
+				// always equals the configured window exactly.
+				d = cfg.Window - slice*sim.Duration(epochs-1)
+			}
+			sys.RunFor(d)
+		}
 	}
 	row.GuardChecks = pol.Guard.Checks
 	row.GuardInterventions = pol.Guard.Interventions

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The streaming fleet engine folds per-machine snapshots incrementally:
+// merged = MergeSnapshots(merged, s_i, ...). These property tests are what
+// makes that legal. Two regimes matter:
+//
+//   - With integer-valued samples (counters, bucket counts — the vast
+//     majority of telemetry) float addition is exact, so MergeSnapshots is
+//     fully commutative and associative and the fold order is irrelevant.
+//   - With arbitrary float values, addition is commutative but NOT
+//     associative; what still holds exactly is left-fold splitting:
+//     MergeSnapshots(s0..sn) == MergeSnapshots(MergeSnapshots(s0..sk), sk+1..sn)
+//     because the incremental form performs the identical sequence of
+//     additions. That is the exact invariant the stream relies on.
+
+// mergeFamilies is the fixed metric universe random snapshots draw from:
+// help and kind are functions of the name, and histogram bounds are fixed
+// per family, so two random snapshots never conflict structurally.
+var mergeFamilies = []struct {
+	name   string
+	kind   Kind
+	bounds []float64
+}{
+	{"polls_total", KindCounter, nil},
+	{"stolen_seconds", KindCounter, nil},
+	{"resident_bytes", KindGauge, nil},
+	{"poll_latency", KindHistogram, []float64{1, 10, 100}},
+	{"dwell_time", KindHistogram, []float64{0.5, 5}},
+}
+
+var mergeLabelPool = []Labels{
+	nil,
+	{"core": "0"},
+	{"core": "1"},
+	{"model": "skylake", "core": "0"},
+}
+
+// randomSnapshot draws a snapshot from the universe. With integers true
+// every sample is an exactly-representable small integer, making float
+// addition associative; otherwise samples are adversarial floats.
+func randomSnapshot(rng *rand.Rand, integers bool) *Snapshot {
+	val := func() float64 {
+		if integers {
+			return float64(rng.Intn(1 << 20))
+		}
+		return rng.NormFloat64() * 1e-3 * float64(uint64(1)<<uint(rng.Intn(40)))
+	}
+	s := &Snapshot{AtPS: int64(rng.Intn(1000))}
+	for _, fam := range mergeFamilies {
+		if rng.Intn(3) == 0 {
+			continue // family absent from this machine
+		}
+		m := MetricSnapshot{Name: fam.name, Help: "help for " + fam.name, Kind: fam.kind}
+		for _, labels := range mergeLabelPool {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			ss := SeriesSnapshot{Labels: labels.clone()}
+			if fam.kind == KindHistogram {
+				ss.Count = uint64(rng.Intn(1000))
+				ss.Sum = val()
+				var cum uint64
+				for _, b := range fam.bounds {
+					cum += uint64(rng.Intn(100))
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: b, Cumulative: cum})
+				}
+			} else {
+				ss.Value = val()
+			}
+			m.Series = append(m.Series, ss)
+		}
+		if len(m.Series) > 0 {
+			s.Metrics = append(s.Metrics, m)
+		}
+	}
+	return s
+}
+
+// render is the byte-level equality surface: the Prometheus exposition plus
+// the JSON form.
+func render(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf.Bytes(), j...)
+}
+
+func mustMerge(t *testing.T, snaps ...*Snapshot) *Snapshot {
+	t.Helper()
+	out, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMergeCommutative: with integer-valued samples, argument order is
+// irrelevant to the byte level.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a, b := randomSnapshot(rng, true), randomSnapshot(rng, true)
+		ab := render(t, mustMerge(t, a, b))
+		ba := render(t, mustMerge(t, b, a))
+		if !bytes.Equal(ab, ba) {
+			t.Fatalf("trial %d: merge(a,b) != merge(b,a)", trial)
+		}
+	}
+}
+
+// TestMergeAssociative: with integer-valued samples, grouping is irrelevant
+// to the byte level.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randomSnapshot(rng, true), randomSnapshot(rng, true), randomSnapshot(rng, true)
+		flat := render(t, mustMerge(t, a, b, c))
+		left := render(t, mustMerge(t, mustMerge(t, a, b), c))
+		right := render(t, mustMerge(t, a, mustMerge(t, b, c)))
+		if !bytes.Equal(flat, left) || !bytes.Equal(flat, right) {
+			t.Fatalf("trial %d: associativity broken", trial)
+		}
+	}
+}
+
+// TestMergeIdentityEmpty: the empty snapshot (and nil) is the identity, on
+// either side, and a merge of nothing is empty.
+func TestMergeIdentityEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	empty := &Snapshot{}
+	for trial := 0; trial < 20; trial++ {
+		a := randomSnapshot(rng, false) // identity must hold for ANY floats
+		want := render(t, mustMerge(t, a))
+		if !bytes.Equal(render(t, mustMerge(t, empty, a)), want) {
+			t.Fatal("left identity broken")
+		}
+		if !bytes.Equal(render(t, mustMerge(t, a, empty)), want) {
+			t.Fatal("right identity broken")
+		}
+		if !bytes.Equal(render(t, mustMerge(t, nil, a, nil)), want) {
+			t.Fatal("nil inputs not ignored")
+		}
+	}
+	if out := mustMerge(t); len(out.Metrics) != 0 || out.AtPS != 0 {
+		t.Fatalf("merge of nothing: %+v", out)
+	}
+}
+
+// TestMergeLeftFoldSplit is the streaming invariant, and it must hold for
+// arbitrary (non-associative) float values: folding a prefix and continuing
+// performs the identical addition sequence as one flat merge.
+func TestMergeLeftFoldSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		snaps := make([]*Snapshot, n)
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng, false)
+		}
+		flat := render(t, mustMerge(t, snaps...))
+		for k := 1; k < n; k++ {
+			prefix := mustMerge(t, snaps[:k]...)
+			folded := mustMerge(t, append([]*Snapshot{prefix}, snaps[k:]...)...)
+			if !bytes.Equal(render(t, folded), flat) {
+				t.Fatalf("trial %d: left-fold split at %d/%d diverges", trial, k, n)
+			}
+		}
+		// Batch-wise incremental fold, the exact shape the fleet stream uses.
+		acc := &Snapshot{}
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			acc = mustMerge(t, append([]*Snapshot{acc}, snaps[lo:hi]...)...)
+			lo = hi
+		}
+		if !bytes.Equal(render(t, acc), flat) {
+			t.Fatalf("trial %d: batch-wise fold diverges", trial)
+		}
+	}
+}
+
+// TestMergeKindConflict: one name carrying two kinds must be a typed merge
+// error, not silent corruption.
+func TestMergeKindConflict(t *testing.T) {
+	a := &Snapshot{Metrics: []MetricSnapshot{{Name: "polls_total", Kind: KindCounter,
+		Series: []SeriesSnapshot{{Value: 1}}}}}
+	b := &Snapshot{Metrics: []MetricSnapshot{{Name: "polls_total", Kind: KindGauge,
+		Series: []SeriesSnapshot{{Value: 2}}}}}
+	if _, err := MergeSnapshots(a, b); err == nil || !strings.Contains(err.Error(), "polls_total") {
+		t.Fatalf("kind conflict not rejected: %v", err)
+	}
+}
+
+// TestMergeBucketLayoutConflict: histogram series of one family must agree
+// on bucket count and bounds.
+func TestMergeBucketLayoutConflict(t *testing.T) {
+	hist := func(buckets ...BucketCount) *Snapshot {
+		return &Snapshot{Metrics: []MetricSnapshot{{Name: "poll_latency", Kind: KindHistogram,
+			Series: []SeriesSnapshot{{Count: 1, Sum: 1, Buckets: buckets}}}}}
+	}
+	a := hist(BucketCount{UpperBound: 1, Cumulative: 1}, BucketCount{UpperBound: 10, Cumulative: 1})
+	short := hist(BucketCount{UpperBound: 1, Cumulative: 1})
+	if _, err := MergeSnapshots(a, short); err == nil || !strings.Contains(err.Error(), "buckets") {
+		t.Fatalf("bucket-count conflict not rejected: %v", err)
+	}
+	skewed := hist(BucketCount{UpperBound: 1, Cumulative: 1}, BucketCount{UpperBound: 20, Cumulative: 1})
+	if _, err := MergeSnapshots(a, skewed); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Fatalf("bucket-bound conflict not rejected: %v", err)
+	}
+}
+
+// FuzzMergeSnapshots drives randomized merge inputs from fuzzed seeds:
+// merging must never panic, and whenever it succeeds the integer-regime
+// commutativity and the left-fold invariant must hold.
+func FuzzMergeSnapshots(f *testing.F) {
+	f.Add(int64(1), 2)
+	f.Add(int64(42), 5)
+	f.Add(int64(-7), 3)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 8 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		snaps := make([]*Snapshot, n)
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng, true)
+		}
+		flat, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatalf("structurally-compatible snapshots rejected: %v", err)
+		}
+		want := render(t, flat)
+		// Reversed order (commutativity, integer regime).
+		rev := make([]*Snapshot, n)
+		for i := range snaps {
+			rev[n-1-i] = snaps[i]
+		}
+		if got := render(t, mustMerge(t, rev...)); !bytes.Equal(got, want) {
+			t.Fatal("reversed merge diverges")
+		}
+		// Incremental left fold (the stream's shape).
+		acc := &Snapshot{}
+		for _, s := range snaps {
+			acc = mustMerge(t, acc, s)
+		}
+		if got := render(t, acc); !bytes.Equal(got, want) {
+			t.Fatal("incremental fold diverges")
+		}
+	})
+}
