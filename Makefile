@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo fleet-demo fleet-stream-demo
+.PHONY: build test test-race fuzz bench bench-json golden golden-update artifacts metrics-demo trace-demo fleet-demo fleet-stream-demo energy-demo
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # or feed the raw fields to benchstat (see EXPERIMENTS.md).
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput|FleetStreaming' \
+	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput|FleetStreaming|EnergyAccounting' \
 		-benchtime 300x -count 5 -run '^$$' -timeout 30m . ; \
 	  $(GO) test -bench . -benchtime 300x -count 5 -run '^$$' \
 		./internal/sim ./internal/timing ; } \
@@ -83,6 +83,13 @@ trace-demo:
 	@echo
 	@echo "== top folded stacks by self time"
 	@sort -t' ' -k2 -rn trace.folded | head -8
+
+# Energy demo: the guard's joule bill measured three ways — energy overhead
+# of deploying the guard (printed next to the paper's 0.28% runtime
+# overhead), the measured-vs-closed-form savings of the characterized safe
+# undervolt versus a full clamp, and the per-governor energy curve.
+energy-demo:
+	$(GO) run ./cmd/plugvolt-overhead -energy
 
 # Fleet demo: a 24-machine mixed fleet under a VoltJockey campaign, report
 # and merged metric exposition written out. Rerun with any -workers value:

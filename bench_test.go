@@ -489,6 +489,52 @@ func BenchmarkGuardPollSteadyState(b *testing.B) {
 	b.Run("poll-tracing-on", func(b *testing.B) { pollSteadyState(b, true) })
 }
 
+// Energy accounting — the joules/op regression axis: one guard poll period
+// of guarded benign steady state per op, with the platform integrator's
+// package energy and the kernel-attributed guard energy reported per op.
+// Both are integrals over the virtual clock, so J/op is a property of the
+// power model and the guard's duty cycle — not of the host — and is stable
+// enough for CI to gate against the committed BENCH_4.json baseline: a
+// regression means the guard got electrically more expensive (more polls,
+// costlier primitives, or a hotter commanded operating point), which no
+// wall-clock metric would catch. The energy ledgers mutate only at
+// event-driven instants and reads are pure, so metering here cannot perturb
+// the ns/op axis of the co-gated poll benchmarks.
+func BenchmarkEnergyAccounting(b *testing.B) {
+	sys, grid := characterize(b, "skylake", 42)
+	sys.SetTelemetry(&telemetry.Set{})
+	cfg := core.DefaultGuardConfig()
+	guard, err := core.NewGuard(grid.UnsafeSet(), sys.Platform.Spec.BusMHz, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Kernel.Load(guard.Module()); err != nil {
+		b.Fatal(err)
+	}
+	sys.RunFor(sim.Millisecond)
+	tr := sys.Platform.Energy
+	guardPJ := func() int64 {
+		var pj int64
+		for c := 0; c < sys.Platform.NumCores(); c++ {
+			pj += sys.Kernel.EnergyPJ(c)
+		}
+		return pj
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	pkgBefore := tr.PackageEnergyJ()
+	guardBefore := guardPJ()
+	for i := 0; i < b.N; i++ {
+		sys.RunFor(cfg.PollPeriod)
+	}
+	b.StopTimer()
+	if guard.Interventions != 0 {
+		b.Fatal("benign steady state triggered interventions; wrong path measured")
+	}
+	b.ReportMetric((tr.PackageEnergyJ()-pkgBefore)/float64(b.N), "J/op")
+	b.ReportMetric(float64(guardPJ()-guardBefore)*1e-12/float64(b.N), "guardJ/op")
+}
+
 // Fleet throughput — the concurrent fleet-simulation engine: a mixed
 // skylake/kabylaker/cometlake fleet, each machine characterized, guarded
 // and attacked, simulated across the default worker pool. The aggregate is

@@ -57,8 +57,9 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "write the JSON artifact to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two artifacts: plugvolt-bench -compare OLD.json NEW.json")
-	failOver := flag.Float64("fail-over", 0, "with -compare: exit 4 if any matched benchmark's mean ns/op regresses by more than this percentage (0 = report only)")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit 4 if any matched benchmark's mean regresses by more than this percentage (0 = report only)")
 	match := flag.String("match", "", "with -compare: regexp restricting which benchmarks the -fail-over gate applies to (default all)")
+	metric := flag.String("metric", "ns/op", `with -compare: which per-op metric to compare and gate (e.g. "ns/op", "J/op", "allocs/op")`)
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
@@ -76,7 +77,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "plugvolt-bench: -match:", err)
 			os.Exit(2)
 		}
-		regressed, err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver, gate)
+		regressed, err := compareArtifacts(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver, gate, *metric)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "plugvolt-bench:", err)
 			os.Exit(1)
@@ -168,12 +169,13 @@ func parseBenchLine(line string) (Result, bool) {
 	return res, true
 }
 
-// compareArtifacts prints per-benchmark mean ns/op deltas between two
-// artifacts and, when failOver > 0, returns the names matched by gate whose
-// mean regressed beyond that percentage. It is a quick gate for CI and
-// local runs; use benchstat on the raw fields for a statistically grounded
-// comparison.
-func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, gate *regexp.Regexp) ([]string, error) {
+// compareArtifacts prints per-benchmark mean deltas for one metric between
+// two artifacts and, when failOver > 0, returns the names matched by gate
+// whose mean regressed beyond that percentage. The metric is any per-op unit
+// benchmarks report — "ns/op" for runtime, "J/op" for the energy axis. It is
+// a quick gate for CI and local runs; use benchstat on the raw fields for a
+// statistically grounded comparison.
+func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, gate *regexp.Regexp, metric string) ([]string, error) {
 	oldArt, err := load(oldPath)
 	if err != nil {
 		return nil, err
@@ -182,8 +184,8 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 	if err != nil {
 		return nil, err
 	}
-	oldMeans := means(oldArt)
-	newMeans := means(newArt)
+	oldMeans := means(oldArt, metric)
+	newMeans := means(newArt, metric)
 	names := make([]string, 0, len(oldMeans))
 	for name := range oldMeans {
 		if _, ok := newMeans[name]; ok {
@@ -192,10 +194,10 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		return nil, fmt.Errorf("no common %s benchmarks between %s and %s", metric, oldPath, newPath)
 	}
 	var regressed []string
-	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
 	for _, name := range names {
 		o, n := oldMeans[name], newMeans[name]
 		delta := (n - o) / o * 100
@@ -204,7 +206,7 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 			regressed = append(regressed, name)
 			mark = "  REGRESSION"
 		}
-		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%%s\n", name, o, n, delta, mark)
+		fmt.Fprintf(w, "%-50s %14.4g %14.4g %+7.1f%%%s\n", name, o, n, delta, mark)
 	}
 	return regressed, nil
 }
@@ -221,12 +223,13 @@ func load(path string) (*Artifact, error) {
 	return art, nil
 }
 
-// means averages ns/op per benchmark name across repeated -count runs.
-func means(art *Artifact) map[string]float64 {
+// means averages one metric per benchmark name across repeated -count runs;
+// benchmarks that never report the metric are absent from the result.
+func means(art *Artifact, metric string) map[string]float64 {
 	sum := map[string]float64{}
 	n := map[string]int{}
 	for _, b := range art.Benchmarks {
-		v, ok := b.Metrics["ns/op"]
+		v, ok := b.Metrics[metric]
 		if !ok {
 			continue
 		}

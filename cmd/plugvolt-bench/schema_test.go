@@ -142,7 +142,7 @@ func TestCompareGateFlagsRegression(t *testing.T) {
 	newP := write("new.json", "1300") // +30% on Fig2, Other unchanged
 
 	var sb strings.Builder
-	regressed, err := compareArtifacts(&sb, oldP, newP, 20, regexp.MustCompile("Fig2"))
+	regressed, err := compareArtifacts(&sb, oldP, newP, 20, regexp.MustCompile("Fig2"), "ns/op")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCompareGateFlagsRegression(t *testing.T) {
 
 	// Under the threshold: quiet.
 	okP := write("ok.json", "1100") // +10%
-	regressed, err = compareArtifacts(&sb, oldP, okP, 20, regexp.MustCompile("Fig2"))
+	regressed, err = compareArtifacts(&sb, oldP, okP, 20, regexp.MustCompile("Fig2"), "ns/op")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestCompareGateFlagsRegression(t *testing.T) {
 	if err := os.WriteFile(otherP, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	regressed, err = compareArtifacts(&sb, oldP, otherP, 20, regexp.MustCompile("Fig2"))
+	regressed, err = compareArtifacts(&sb, oldP, otherP, 20, regexp.MustCompile("Fig2"), "ns/op")
 	if err != nil {
 		t.Fatal(err)
 	}

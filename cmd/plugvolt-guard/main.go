@@ -68,6 +68,7 @@ func main() {
 			Telemetry: sys.Telemetry,
 			Collect:   sys.CollectTelemetry,
 			Clock:     func() sim.Time { return sys.Platform.Sim.Now() },
+			Energy:    func() *obs.EnergyHealth { return energyHealth(sys) },
 			Lock:      &mu,
 		}
 		httpSrv, addr, err := srv.Start(*listen)
@@ -107,10 +108,18 @@ func main() {
 	watchdog := &slo.Watchdog{
 		Tracer:  sys.Telemetry.Spans(),
 		Journal: sys.Telemetry.Events(),
-		Rules:   slo.DefaultRules(cfg.PollPeriod),
+		Rules: append(slo.DefaultRules(cfg.PollPeriod),
+			// Guard energy budget: the kernel-attributed guard power per core
+			// must average under 250 mW — the energy face of the paper's
+			// 0.28% runtime-overhead claim. The default 100us poll costs
+			// ~0.1 W under sustained attack; a 4x faster poll (~0.4 W)
+			// trips this rule.
+			slo.EnergyBudgetRule(0.250)),
 		Unsafe: func(core, offsetMV int) bool {
 			return unsafe.Contains(p.FreqKHz(core), offsetMV)
 		},
+		GuardEnergyJ: sys.Kernel.EnergyJ,
+		NumCores:     p.NumCores(),
 	}
 	if srv != nil {
 		srv.Watchdog = watchdog
@@ -218,27 +227,72 @@ func main() {
 
 // printAttribution renders the Table-2-style overhead attribution: per core,
 // the kernel CPU time stolen by the guard split by primitive (kthread wake,
-// rdmsr, wrmsr). The split must sum exactly to the kernel's unattributed
-// stolen-time accounting — if it does not, the cost model leaks.
+// rdmsr, wrmsr, corrective intervention), and the same decomposition for the
+// guard's energy bill in joules. Both splits must sum exactly to the
+// kernel's unattributed accounting — if they do not, the cost model leaks.
 func printAttribution(sys *plugvolt.System) {
-	kinds := []kernel.CostKind{kernel.CostWake, kernel.CostRdmsr, kernel.CostWrmsr}
+	kinds := kernel.CostKinds()
 	fmt.Println("\n-- overhead attribution (virtual kernel CPU time per core)")
-	fmt.Printf("   %-6s %14s %14s %14s %14s\n", "core", "total", "wake", "rdmsr", "wrmsr")
+	fmt.Printf("   %-6s %14s", "core", "total")
+	for _, k := range kinds {
+		fmt.Printf(" %14s", k.String())
+	}
+	fmt.Println()
 	for c := 0; c < sys.Platform.NumCores(); c++ {
 		total := sys.Kernel.StolenTime(c)
-		var parts [3]sim.Duration
 		var sum sim.Duration
-		for i, k := range kinds {
-			parts[i] = sys.Kernel.StolenTimeBy(k, c)
-			sum += parts[i]
+		fmt.Printf("   %-6d %14s", c, total.String())
+		for _, k := range kinds {
+			d := sys.Kernel.StolenTimeBy(k, c)
+			sum += d
+			fmt.Printf(" %14s", d.String())
 		}
-		fmt.Printf("   %-6d %14s %14s %14s %14s\n",
-			c, total.String(), parts[0].String(), parts[1].String(), parts[2].String())
+		fmt.Println()
 		if sum != total {
 			fatal(fmt.Errorf("core %d: attribution %v != stolen total %v", c, sum, total))
 		}
 	}
 	fmt.Println("   attribution check: per-kind costs sum to the kernel accounting total on every core")
+
+	fmt.Println("\n-- energy attribution (guard joules per core, kernel-attributed)")
+	fmt.Printf("   %-6s %14s", "core", "total J")
+	for _, k := range kinds {
+		fmt.Printf(" %14s", k.String())
+	}
+	fmt.Println()
+	for c := 0; c < sys.Platform.NumCores(); c++ {
+		totalPJ := sys.Kernel.EnergyPJ(c)
+		var sumPJ int64
+		fmt.Printf("   %-6d %14.9f", c, sys.Kernel.EnergyJ(c))
+		for _, k := range kinds {
+			pj := sys.Kernel.EnergyPJBy(k, c)
+			sumPJ += pj
+			fmt.Printf(" %14.9f", float64(pj)*1e-12)
+		}
+		fmt.Println()
+		if sumPJ != totalPJ {
+			fatal(fmt.Errorf("core %d: energy attribution %d pJ != total %d pJ", c, sumPJ, totalPJ))
+		}
+	}
+	fmt.Println("   energy check: per-kind joules sum to the core's attributed total on every core")
+}
+
+// energyHealth assembles the /healthz joule ledger from the platform's
+// integrator and the kernel's guard attribution.
+func energyHealth(sys *plugvolt.System) *obs.EnergyHealth {
+	tr := sys.Platform.Energy
+	h := &obs.EnergyHealth{
+		PackageJoules: tr.PackageEnergyJ(),
+		CoresJoules:   tr.CoresEnergyJ(),
+		GuardByKind:   make(map[string]float64, len(kernel.CostKinds())),
+	}
+	for c := 0; c < sys.Platform.NumCores(); c++ {
+		h.GuardJoules += sys.Kernel.EnergyJ(c)
+		for _, k := range kernel.CostKinds() {
+			h.GuardByKind[k.String()] += sys.Kernel.EnergyJBy(k, c)
+		}
+	}
+	return h
 }
 
 // writeTo renders into the path, with "-" meaning stdout.

@@ -365,8 +365,12 @@ func (g *Guard) intervene(t *kernel.KThread, core int, ratio uint8, offsetMV int
 		})
 	}
 	writeBusy := t.Busy
-	err := t.WriteMSR(core, msr.OCMailbox, safeCommand(g.cfg.SafeOffsetMV))
+	energyBefore := g.k.EnergyPJ(core)
+	// The corrective write books as CostIntervention: the one ledger row
+	// (time and joules) that exists only because an attack happened.
+	err := t.WriteMSRKind(kernel.CostIntervention, core, msr.OCMailbox, safeCommand(g.cfg.SafeOffsetMV))
 	isp.SetAttr("ok", err == nil)
+	isp.SetAttr("energy_pj", g.k.EnergyPJ(core)-energyBefore)
 	isp.EndWithCost(t.Busy - writeBusy)
 	if err == nil {
 		g.Interventions++

@@ -23,6 +23,7 @@ import (
 	"plugvolt/internal/clockgen"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
+	"plugvolt/internal/power"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry/span"
 	"plugvolt/internal/timing"
@@ -95,6 +96,10 @@ type Core struct {
 	// pathCache holds the timing paths this core has resolved by name (at
 	// most one per path in the circuit; linear-scanned).
 	pathCache []resolvedPath
+	// energy, when set, is touched at every commanded operating-point
+	// transition so the platform's joule integrator closes the previous
+	// piecewise-constant segment exactly at the transition instant.
+	energy *power.Tracker
 
 	// Retired counts successfully executed instructions; Faulted counts
 	// instructions whose result was corrupted.
@@ -131,11 +136,30 @@ func (c *Core) FreqGHz() float64 { return c.PLL.FreqGHz() }
 // mid-slew values included).
 func (c *Core) VoltageV() float64 { return c.VR.OutputMV() / 1000.0 }
 
+// CommandedGHz returns the frequency of the most recently commanded
+// P-state ratio. It can run ahead of the live PLL output during a relock;
+// energy accounting bills the commanded point (see power.PointFn).
+func (c *Core) CommandedGHz() float64 {
+	return float64(int(c.targetRatio)*c.spec.BusMHz) / 1000.0
+}
+
+// CommandedVoltV returns the commanded rail target in volts: the nominal
+// voltage of the commanded ratio plus the core-plane mailbox offset.
+func (c *Core) CommandedVoltV() float64 {
+	return (c.spec.NominalMV(c.targetRatio) + msr.UnitsToMV(c.planeOffsets[msr.PlaneCore])) / 1000.0
+}
+
 // retarget recomputes the rail target from the commanded ratio and the
-// core plane offset and commands the regulator.
+// core plane offset and commands the regulator. Every commanded
+// operating-point change — P-state writes on either transition direction
+// and mailbox offset commands — funnels through here, which is what makes
+// it the single energy-integration point.
 func (c *Core) retarget() {
 	nominal := c.spec.NominalMV(c.targetRatio)
 	c.VR.SetTarget(nominal + msr.UnitsToMV(c.planeOffsets[msr.PlaneCore]))
+	if c.energy != nil {
+		c.energy.Touch(c.index)
+	}
 }
 
 // SetRatio commands a P-state change through the hardware path. The PCU
@@ -407,6 +431,12 @@ type Platform struct {
 	// spans is the causal tracer attached to every core's MSR file; kept
 	// here so Reboot can re-attach it after rebuilding the files.
 	spans *span.Tracer
+
+	// Energy is the platform's deterministic joule integrator. It bills
+	// each core's commanded operating point piecewise-constantly over the
+	// virtual clock (touched from retarget) and backs the modeled RAPL
+	// energy-status MSRs; reboot downtime is billed at zero watts.
+	Energy *power.Tracker
 }
 
 // DefaultRebootTime approximates a fast reboot cycle.
@@ -430,7 +460,44 @@ func NewPlatform(spec *models.Spec, seed int64) (*Platform, error) {
 	if err := p.buildCores(); err != nil {
 		return nil, err
 	}
+	tr, err := power.NewTracker(power.ModelFor(spec.Codename), spec.Cores, p.Sim.Now, p.commandedPoint)
+	if err != nil {
+		return nil, err
+	}
+	p.Energy = tr
+	p.wireEnergy()
 	return p, nil
+}
+
+// commandedPoint adapts the cores to power.PointFn.
+func (p *Platform) commandedPoint(core int) (freqGHz, voltV float64) {
+	c := p.cores[core]
+	return c.CommandedGHz(), c.CommandedVoltV()
+}
+
+// wireEnergy attaches the joule integrator to every core: transition
+// touches via retarget, and RAPL energy-status reads on the core's MSR
+// file. Re-run after Reboot rebuilds the register files.
+func (p *Platform) wireEnergy() {
+	if p.Energy == nil {
+		return
+	}
+	for _, c := range p.cores {
+		c.energy = p.Energy
+		c.wireRAPL(p.Energy)
+	}
+}
+
+// wireRAPL backs the energy-status MSRs with the integrator. The read
+// functions are pure — the tracker extrapolates without mutating — so
+// polling RAPL never perturbs the deterministic energy totals.
+func (c *Core) wireRAPL(tr *power.Tracker) {
+	c.MSRs.Descriptor(msr.PkgEnergyStatus).ReadFn = func(*msr.File) (uint64, error) {
+		return msr.EncodeEnergyStatus(tr.PackageEnergyJ(), msr.DefaultEnergyUnitJ), nil
+	}
+	c.MSRs.Descriptor(msr.PP0EnergyStatus).ReadFn = func(*msr.File) (uint64, error) {
+		return msr.EncodeEnergyStatus(tr.CoresEnergyJ(), msr.DefaultEnergyUnitJ), nil
+	}
 }
 
 func (p *Platform) buildCores() error {
@@ -539,6 +606,11 @@ func (p *Platform) Crashed() bool {
 // experiment bookkeeping, not machine state).
 func (p *Platform) Reboot() {
 	for _, c := range p.cores {
+		// Close the core's energy segment at the crash instant; the
+		// downtime below is billed at zero watts until the post-boot touch.
+		if p.Energy != nil {
+			p.Energy.Blackout(c.index)
+		}
 		c.crashed = false
 		c.planeOffsets = [msr.NumPlanes]int{}
 		c.MSRs = msr.NewFile(c.index)
@@ -567,8 +639,16 @@ func (p *Platform) Reboot() {
 		// the causal trace.
 		c.MSRs.SetSpanTracer(p.spans)
 	}
+	// The rebuilt register files need the RAPL read functions back, exactly
+	// like the span tracer above.
+	p.wireEnergy()
 	p.Reboots++
 	p.Sim.RunFor(p.RebootTime)
+	if p.Energy != nil {
+		// Power-on: bill the downtime at zero and reopen each core's
+		// segment at the rebuilt base operating point.
+		p.Energy.TouchAll()
+	}
 }
 
 // SetSpanTracer attaches the causal span tracer to every core's MSR file

@@ -162,8 +162,12 @@ type MachineSummary struct {
 	GuardInterventions uint64         `json:"guard_interventions"`
 	Reboots            int            `json:"reboots"`
 	VirtualPS          int64          `json:"virtual_ps"`
-	Attack             *AttackSummary `json:"attack,omitempty"`
-	Err                string         `json:"error,omitempty"`
+	// EnergyJ is the machine's integrated package energy (all core planes
+	// plus uncore) over its virtual window, from the platform's
+	// deterministic joule integrator.
+	EnergyJ float64        `json:"energy_joules"`
+	Attack  *AttackSummary `json:"attack,omitempty"`
+	Err     string         `json:"error,omitempty"`
 }
 
 // Aggregate is the fleet-level rollup, summed in machine-index order.
@@ -181,6 +185,9 @@ type Aggregate struct {
 	Crashes            int    `json:"crashes"`
 	Reboots            int    `json:"reboots"`
 	VirtualPS          int64  `json:"virtual_ps"`
+	// EnergyJ sums the machines' package energy in index order; like every
+	// other aggregate field it is independent of the execution split.
+	EnergyJ float64 `json:"energy_joules"`
 }
 
 // Report is a completed fleet run. Its JSON and the merged exposition are
@@ -333,6 +340,7 @@ func foldRow(agg *Aggregate, row *MachineSummary) {
 	agg.GuardInterventions += row.GuardInterventions
 	agg.Reboots += row.Reboots
 	agg.VirtualPS += row.VirtualPS
+	agg.EnergyJ += row.EnergyJ
 	if row.Err != "" {
 		agg.Errors++
 	}
@@ -445,6 +453,7 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec, epochs in
 	row.GuardInterventions = pol.Guard.Interventions
 	row.Reboots = sys.Platform.Reboots
 	row.VirtualPS = int64(sys.Platform.Sim.Now())
+	row.EnergyJ = sys.Platform.Energy.PackageEnergyJ()
 	sys.CollectTelemetry()
 	return machineResult{row: row, snap: sys.Telemetry.Registry().Snapshot()}
 }

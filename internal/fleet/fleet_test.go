@@ -154,3 +154,44 @@ func TestFleetReportOmitsWorkers(t *testing.T) {
 		t.Fatal("report JSON leaks the worker count")
 	}
 }
+
+// TestFleetEnergyRollup pins the joule axis of the report: every machine
+// bills energy, the aggregate is the index-ordered sum of the rows (so it
+// cannot depend on the execution split), and the streaming engine's
+// aggregate and per-model energy reproduce the batch engine's bit for bit.
+func TestFleetEnergyRollup(t *testing.T) {
+	base := Config{Machines: 4, Seed: 13, Attack: "voltjockey"}
+	cfg := base
+	cfg.Workers = 2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	byModel := map[string]float64{}
+	for _, row := range rep.MachineRows {
+		if row.EnergyJ <= 0 {
+			t.Fatalf("machine %d billed %g J", row.Index, row.EnergyJ)
+		}
+		sum += row.EnergyJ
+		byModel[row.Model] += row.EnergyJ
+	}
+	if sum != rep.Aggregate.EnergyJ {
+		t.Fatalf("aggregate energy %v != index-ordered row sum %v", rep.Aggregate.EnergyJ, sum)
+	}
+
+	scfg := StreamConfig{Config: base, Batch: 2}
+	scfg.Workers = 8
+	srep, err := RunStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Aggregate.EnergyJ != rep.Aggregate.EnergyJ {
+		t.Fatalf("stream aggregate energy %v != batch %v", srep.Aggregate.EnergyJ, rep.Aggregate.EnergyJ)
+	}
+	for _, m := range srep.ModelRows {
+		if m.EnergyJ != byModel[m.Model] {
+			t.Fatalf("model %s stream energy %v != batch fold %v", m.Model, m.EnergyJ, byModel[m.Model])
+		}
+	}
+}

@@ -135,6 +135,9 @@ type ModelSummary struct {
 	Crashes            int    `json:"crashes"`
 	Reboots            int    `json:"reboots"`
 	VirtualPS          int64  `json:"virtual_ps"`
+	// EnergyJ is the model's total package energy, folded in machine index
+	// order so the rollup is byte-identical across execution splits.
+	EnergyJ float64 `json:"energy_joules"`
 }
 
 // foldModel accumulates one machine row into its model's rollup.
@@ -144,6 +147,7 @@ func (m *ModelSummary) foldModel(row *MachineSummary) {
 	m.GuardInterventions += row.GuardInterventions
 	m.Reboots += row.Reboots
 	m.VirtualPS += row.VirtualPS
+	m.EnergyJ += row.EnergyJ
 	if row.Err != "" {
 		m.Errors++
 	}

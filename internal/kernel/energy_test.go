@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"testing"
+
+	"plugvolt/internal/msr"
+	"plugvolt/internal/sim"
+)
+
+// Energy attribution closes exactly, by construction: the same rounded
+// picojoule quantum lands in the per-core total and its per-kind row, so
+// summing EnergyPJBy over CostKinds reproduces EnergyPJ bit-for-bit — the
+// invariant plugvolt-guard's attribution table fatals on.
+func TestEnergyAttributionClosesExactly(t *testing.T) {
+	p, k := testKernel(t)
+	// A deliberately awkward price (odd fraction of a watt) so per-charge
+	// rounding is exercised rather than landing on integers.
+	k.SetEnergyPrice(func(core int) float64 { return 7.3217 })
+	th, err := k.StartKThread("poller", 0, 1*sim.Millisecond, func(t *KThread) {
+		if _, err := t.ReadMSR(0, msr.IA32PerfStatus); err != nil {
+			panic(err)
+		}
+		_ = t.WriteMSR(0, msr.OCMailbox, msr.EncodeVoltageOffset(0, msr.PlaneCore))
+		_ = t.WriteMSRKind(CostIntervention, 0, msr.OCMailbox, msr.EncodeVoltageOffset(-50, msr.PlaneCore))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(5*sim.Millisecond + sim.Microsecond)
+	th.Stop()
+
+	total := k.EnergyPJ(0)
+	if total <= 0 {
+		t.Fatal("no energy booked")
+	}
+	var sum int64
+	for _, kind := range CostKinds() {
+		sum += k.EnergyPJBy(kind, 0)
+	}
+	if sum != total {
+		t.Fatalf("per-kind energy %d pJ != total %d pJ", sum, total)
+	}
+	// The intervention write books under its own kind, not generic wrmsr —
+	// and both carry the same per-op quantum (same Wrmsr cost, same price).
+	iv := k.EnergyPJBy(CostIntervention, 0)
+	if iv == 0 {
+		t.Fatal("intervention energy not booked")
+	}
+	if wr := k.EnergyPJBy(CostWrmsr, 0); wr != iv {
+		t.Fatalf("wrmsr %d pJ vs intervention %d pJ; equal traffic should bill equally", wr, iv)
+	}
+	// Joule accessors are the same ledgers in SI units.
+	if k.EnergyJ(0) != float64(total)*1e-12 {
+		t.Fatalf("EnergyJ %g != %g", k.EnergyJ(0), float64(total)*1e-12)
+	}
+	// Out-of-range accessors are harmless.
+	if k.EnergyPJ(-1) != 0 || k.EnergyPJ(99) != 0 || k.EnergyPJBy(CostKind(99), 0) != 0 {
+		t.Fatal("out-of-range energy accessor not zero")
+	}
+
+	k.ResetStolenTime()
+	if k.EnergyPJ(0) != 0 || k.EnergyPJBy(CostIntervention, 0) != 0 {
+		t.Fatal("reset did not zero the energy ledgers")
+	}
+}
+
+// Without a price function attached, charged time books no energy — the
+// kernel is usable standalone, as every pre-energy test constructs it.
+func TestEnergyUnpricedBooksNothing(t *testing.T) {
+	p, k := testKernel(t)
+	th, err := k.StartKThread("poller", 0, 1*sim.Millisecond, func(t *KThread) {
+		if _, err := t.ReadMSR(0, msr.IA32PerfStatus); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sim.RunFor(3*sim.Millisecond + sim.Microsecond)
+	th.Stop()
+	if k.StolenTime(0) == 0 {
+		t.Fatal("no time charged")
+	}
+	if k.EnergyPJ(0) != 0 {
+		t.Fatalf("unpriced kernel booked %d pJ", k.EnergyPJ(0))
+	}
+}
+
+// CostKinds carries every kind exactly once, in ledger order, with distinct
+// labels — the contract table renderers iterate on.
+func TestCostKindsComplete(t *testing.T) {
+	kinds := CostKinds()
+	if len(kinds) != int(numCostKinds) {
+		t.Fatalf("CostKinds has %d entries, want %d", len(kinds), numCostKinds)
+	}
+	seen := map[string]bool{}
+	for i, kd := range kinds {
+		if int(kd) != i {
+			t.Errorf("kind %d out of ledger order", i)
+		}
+		s := kd.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d label %q empty or duplicate", i, s)
+		}
+		seen[s] = true
+	}
+	if !seen["intervention"] {
+		t.Error("intervention kind missing")
+	}
+}

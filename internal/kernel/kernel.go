@@ -16,6 +16,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -73,12 +74,16 @@ type Module struct {
 // overhead attribution (poll wakeups vs. local/remote MSR traffic).
 type CostKind int
 
-// Attribution categories. Per core and per thread, the three categories sum
+// Attribution categories. Per core and per thread, the categories sum
 // exactly to the stolen-time total Table 2 converts into slowdown.
+// CostIntervention is the guard's corrective mailbox rewrite — a wrmsr
+// electrically, but the one slice of overhead that exists only because an
+// attack happened, so it gets its own ledger row (and energy row).
 const (
 	CostWake CostKind = iota
 	CostRdmsr
 	CostWrmsr
+	CostIntervention
 	numCostKinds
 )
 
@@ -91,9 +96,17 @@ func (k CostKind) String() string {
 		return "rdmsr"
 	case CostWrmsr:
 		return "wrmsr"
+	case CostIntervention:
+		return "intervention"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// CostKinds lists every attribution category in ledger order, for callers
+// that render complete attribution tables.
+func CostKinds() []CostKind {
+	return []CostKind{CostWake, CostRdmsr, CostWrmsr, CostIntervention}
 }
 
 // Kernel is the simulated kernel instance.
@@ -106,10 +119,21 @@ type Kernel struct {
 	threads []*KThread
 
 	// stolen accumulates CPU time consumed by kernel threads per core;
-	// stolenBy splits the same total by cost category (wake/rdmsr/wrmsr),
-	// so attribution always sums to the accounting total.
+	// stolenBy splits the same total by cost category
+	// (wake/rdmsr/wrmsr/intervention), so attribution always sums to the
+	// accounting total.
 	stolen   []sim.Duration
 	stolenBy [numCostKinds][]sim.Duration
+
+	// priceW, when set, prices charged CPU time in watts so every stolen
+	// slice also books energy. The ledgers are kept in integer picojoules
+	// (watts × picoseconds) and the same rounded quantum is added to the
+	// per-core total and its per-kind row, so energy attribution closes
+	// *exactly*, by construction — the same invariant stolenBy keeps for
+	// time.
+	priceW     func(core int) float64
+	energyPJ   []int64
+	energyByPJ [numCostKinds][]int64
 	// MSRReads/MSRWrites count privileged MSR operations.
 	MSRReads  uint64
 	MSRWrites uint64
@@ -134,7 +158,30 @@ func New(s *sim.Simulator, hw Machine) *Kernel {
 	for i := range k.stolenBy {
 		k.stolenBy[i] = make([]sim.Duration, hw.NumCores())
 	}
+	k.energyPJ = make([]int64, hw.NumCores())
+	for i := range k.energyByPJ {
+		k.energyByPJ[i] = make([]int64, hw.NumCores())
+	}
 	return k
+}
+
+// SetEnergyPrice attaches the power price function (watts per core at the
+// live commanded operating point; power.Tracker.PriceW is the canonical
+// source). Nil detaches; charged time then books no energy.
+func (k *Kernel) SetEnergyPrice(fn func(core int) float64) { k.priceW = fn }
+
+// chargeEnergy books the energy of a charged time slice: price the core's
+// live power, convert to an integer picojoule quantum, and add the same
+// quantum to the total and per-kind ledgers. Allocation-free (the guard's
+// steady-state poll path runs through here).
+func (k *Kernel) chargeEnergy(kind CostKind, core int, d sim.Duration) {
+	if k.priceW == nil {
+		return
+	}
+	// watts × picoseconds is numerically picojoules.
+	pj := int64(math.Round(k.priceW(core) * float64(d)))
+	k.energyPJ[core] += pj
+	k.energyByPJ[kind][core] += pj
 }
 
 // SetTelemetry attaches a telemetry set. Call before starting kthreads so
@@ -261,12 +308,14 @@ func (k *Kernel) StartKThread(name string, core int, period sim.Duration, fn fun
 // Stop halts the thread.
 func (t *KThread) Stop() { t.ticker.Stop() }
 
-// charge books d of CPU time of the given category to the thread's core.
+// charge books d of CPU time of the given category to the thread's core,
+// and the matching energy when a price function is attached.
 func (t *KThread) charge(kind CostKind, d sim.Duration) {
 	t.Busy += d
 	t.BusyBy[kind] += d
 	t.k.stolen[t.Core] += d
 	t.k.stolenBy[kind][t.Core] += d
+	t.k.chargeEnergy(kind, t.Core, d)
 }
 
 // msrSpanAttrs returns the cached span attribute map for (core, addr),
@@ -305,7 +354,19 @@ func (t *KThread) ReadMSR(core int, addr msr.Addr) (uint64, error) {
 // mailbox-write span (and thus any guard intervention above it) encloses the
 // register-level outcome in the causal trace.
 func (t *KThread) WriteMSR(core int, addr msr.Addr, val uint64) error {
-	t.charge(CostWrmsr, t.k.Costs.Wrmsr)
+	return t.WriteMSRKind(CostWrmsr, core, addr, val)
+}
+
+// WriteMSRKind is WriteMSR with an explicit attribution category: the
+// guard's corrective rewrite books its cost (time and joules) as
+// CostIntervention instead of generic wrmsr traffic, so the ledgers answer
+// "what does reacting to attacks cost" separately from "what does polling
+// cost". Out-of-range kinds are booked as CostWrmsr.
+func (t *KThread) WriteMSRKind(kind CostKind, core int, addr msr.Addr, val uint64) error {
+	if kind < 0 || kind >= numCostKinds {
+		kind = CostWrmsr
+	}
+	t.charge(kind, t.k.Costs.Wrmsr)
 	t.k.MSRWrites++
 	if t.k.tel != nil {
 		sp := t.k.tel.Spans().StartScope(t.track, "wrmsr", t.msrSpanAttrs(core, addr))
@@ -331,6 +392,7 @@ func (t *KThread) Module() string {
 func (k *Kernel) ReadMSRDirect(core int, addr msr.Addr) (uint64, error) {
 	k.stolen[core] += k.Costs.Rdmsr
 	k.stolenBy[CostRdmsr][core] += k.Costs.Rdmsr
+	k.chargeEnergy(CostRdmsr, core, k.Costs.Rdmsr)
 	k.MSRReads++
 	return k.hw.MSRFile(core).Read(addr)
 }
@@ -339,6 +401,7 @@ func (k *Kernel) ReadMSRDirect(core int, addr msr.Addr) (uint64, error) {
 func (k *Kernel) WriteMSRDirect(core int, addr msr.Addr, val uint64) error {
 	k.stolen[core] += k.Costs.Wrmsr
 	k.stolenBy[CostWrmsr][core] += k.Costs.Wrmsr
+	k.chargeEnergy(CostWrmsr, core, k.Costs.Wrmsr)
 	k.MSRWrites++
 	return k.hw.MSRFile(core).Write(addr, val)
 }
@@ -361,7 +424,35 @@ func (k *Kernel) StolenTimeBy(kind CostKind, core int) sim.Duration {
 	return k.stolenBy[kind][core]
 }
 
-// ResetStolenTime zeroes the accounting (between benchmark runs).
+// EnergyPJ reports the cumulative kernel-attributed energy on core in
+// integer picojoules — the exact ledger the per-kind rows sum to.
+func (k *Kernel) EnergyPJ(core int) int64 {
+	if core < 0 || core >= len(k.energyPJ) {
+		return 0
+	}
+	return k.energyPJ[core]
+}
+
+// EnergyPJBy reports the slice of core's attributed energy booked to one
+// cost category. Summed over categories it equals EnergyPJ exactly (both
+// sides accumulate the identical rounded quanta).
+func (k *Kernel) EnergyPJBy(kind CostKind, core int) int64 {
+	if kind < 0 || kind >= numCostKinds || core < 0 || core >= len(k.energyPJ) {
+		return 0
+	}
+	return k.energyByPJ[kind][core]
+}
+
+// EnergyJ is EnergyPJ in joules.
+func (k *Kernel) EnergyJ(core int) float64 { return float64(k.EnergyPJ(core)) * 1e-12 }
+
+// EnergyJBy is EnergyPJBy in joules.
+func (k *Kernel) EnergyJBy(kind CostKind, core int) float64 {
+	return float64(k.EnergyPJBy(kind, core)) * 1e-12
+}
+
+// ResetStolenTime zeroes the time and energy accounting (between benchmark
+// runs).
 func (k *Kernel) ResetStolenTime() {
 	for i := range k.stolen {
 		k.stolen[i] = 0
@@ -369,6 +460,14 @@ func (k *Kernel) ResetStolenTime() {
 	for kind := range k.stolenBy {
 		for i := range k.stolenBy[kind] {
 			k.stolenBy[kind][i] = 0
+		}
+	}
+	for i := range k.energyPJ {
+		k.energyPJ[i] = 0
+	}
+	for kind := range k.energyByPJ {
+		for i := range k.energyByPJ[kind] {
+			k.energyByPJ[kind][i] = 0
 		}
 	}
 }
@@ -392,6 +491,10 @@ func (k *Kernel) Collect(reg *telemetry.Registry) {
 				"per-core stolen time attributed to one kernel primitive; kinds sum to kernel_stolen_seconds",
 				telemetry.Labels{"core": c, "kind": kind.String()}).
 				Set(telemetry.Seconds(k.stolenBy[kind][core]))
+			reg.Gauge("power_energy_joules_total",
+				"per-core kernel-attributed energy by primitive; kinds sum to the core's attributed total exactly",
+				telemetry.Labels{"core": c, "kind": kind.String()}).
+				Set(float64(k.energyByPJ[kind][core]) * 1e-12)
 		}
 	}
 	// Threads sorted by (name, core) so repeated Collect calls create

@@ -32,8 +32,11 @@ const (
 	IA32PerfStatus     Addr = 0x198 // current ratio + core voltage
 	IA32PerfCtl        Addr = 0x199 // requested P-state ratio
 	TurboRatioLimit    Addr = 0x1AD
+	RAPLPowerUnit      Addr = 0x606 // MSR_RAPL_POWER_UNIT (scaling exponents)
+	PkgEnergyStatus    Addr = 0x611 // MSR_PKG_ENERGY_STATUS (32-bit wrapping)
 	DRAMPowerLimit     Addr = 0x618 // MSR_DRAM_POWER_LIMIT (clamp analogy)
 	DRAMPowerInfo      Addr = 0x61C // MSR_DRAM_POWER_INFO (holds DRAM_MIN_PWR)
+	PP0EnergyStatus    Addr = 0x639 // MSR_PP0_ENERGY_STATUS (core power plane)
 )
 
 // GPFault is the error returned for accesses a real CPU would answer with a
@@ -272,14 +275,17 @@ var stdDescriptors = [...]Descriptor{
 	{Addr: IA32PerfStatus, Name: "IA32_PERF_STATUS", ReadOnly: true},
 	{Addr: IA32PerfCtl, Name: "IA32_PERF_CTL"},
 	{Addr: TurboRatioLimit, Name: "MSR_TURBO_RATIO_LIMIT"},
+	{Addr: RAPLPowerUnit, Name: "MSR_RAPL_POWER_UNIT", ReadOnly: true, Reset: DefaultRAPLPowerUnit},
+	{Addr: PkgEnergyStatus, Name: "MSR_PKG_ENERGY_STATUS", ReadOnly: true},
 	{Addr: DRAMPowerLimit, Name: "MSR_DRAM_POWER_LIMIT"},
 	{Addr: DRAMPowerInfo, Name: "MSR_DRAM_POWER_INFO", ReadOnly: true},
+	{Addr: PP0EnergyStatus, Name: "MSR_PP0_ENERGY_STATUS", ReadOnly: true},
 }
 
 // fileSlots is the inline register capacity: the standard set plus room for
 // the handful of extra MSRs defenses and tests declare. Declaring more
 // spills to the heap transparently via append.
-const fileSlots = 12
+const fileSlots = 16
 
 // File is one logical CPU's MSR space.
 //

@@ -50,6 +50,11 @@ type Server struct {
 	// Clock supplies the virtual time reported by /healthz and used as the
 	// watchdog's evaluation window end.
 	Clock func() sim.Time
+	// Energy, when set, supplies the joule ledger /healthz reports: the
+	// integrator's package/core totals and the kernel-attributed guard
+	// energy broken down by CostKind (the power_energy_joules_total series,
+	// surfaced here so health checks need not scrape /metrics).
+	Energy func() *EnergyHealth
 	// Lock, when set, is held across every handler body.
 	Lock sync.Locker
 }
@@ -166,9 +171,10 @@ type Health struct {
 	// Journal and Spans report the bounded-buffer fill state; a non-zero
 	// Dropped means the run outgrew its caps and exported artifacts are
 	// incomplete.
-	Journal BufferHealth `json:"journal"`
-	Spans   BufferHealth `json:"spans"`
-	SLO     *SLOHealth   `json:"slo,omitempty"`
+	Journal BufferHealth  `json:"journal"`
+	Spans   BufferHealth  `json:"spans"`
+	SLO     *SLOHealth    `json:"slo,omitempty"`
+	Energy  *EnergyHealth `json:"energy,omitempty"`
 }
 
 // BufferHealth describes one drop-newest bounded buffer.
@@ -182,6 +188,17 @@ type BufferHealth struct {
 type SLOHealth struct {
 	OK         bool     `json:"ok"`
 	Violations []string `json:"violations,omitempty"`
+}
+
+// EnergyHealth is the /healthz joule ledger: integrator totals plus the
+// kernel-attributed guard energy (summed over cores) by cost kind. The
+// per-kind values sum exactly to GuardJoules — the attribution-closure
+// invariant, visible from a health probe.
+type EnergyHealth struct {
+	PackageJoules float64            `json:"package_joules"`
+	CoresJoules   float64            `json:"cores_joules"`
+	GuardJoules   float64            `json:"guard_joules"`
+	GuardByKind   map[string]float64 `json:"guard_joules_by_kind,omitempty"`
 }
 
 // health assembles the document; split from the handler for tests.
@@ -210,6 +227,9 @@ func (s *Server) health() Health {
 		if !rep.OK() {
 			h.Status = "degraded"
 		}
+	}
+	if s.Energy != nil {
+		h.Energy = s.Energy()
 	}
 	return h
 }

@@ -255,3 +255,66 @@ func TestNilTelemetryServesEmpty(t *testing.T) {
 		}
 	}
 }
+
+// /healthz republishes the joule ledger when an energy source is attached
+// — package/core totals, guard total, and the per-kind split summing to it
+// — and omits the section entirely without one. Degradation still flows
+// from the watchdog: an energy-budget violation turns the response 503.
+func TestHealthzEnergySection(t *testing.T) {
+	srv, now := fixture(t)
+	*now = 10 * sim.Millisecond
+	srv.Energy = func() *EnergyHealth {
+		return &EnergyHealth{
+			PackageJoules: 1.25,
+			CoresJoules:   1.05,
+			GuardJoules:   0.003,
+			GuardByKind:   map[string]float64{"wake": 0.001, "rdmsr": 0.0015, "wrmsr": 0, "intervention": 0.0005},
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Energy == nil {
+		t.Fatal("energy section missing")
+	}
+	if h.Energy.PackageJoules != 1.25 || h.Energy.GuardJoules != 0.003 {
+		t.Fatalf("energy section %+v", h.Energy)
+	}
+	var kindSum float64
+	for _, v := range h.Energy.GuardByKind {
+		kindSum += v
+	}
+	if kindSum != h.Energy.GuardJoules {
+		t.Fatalf("per-kind joules %g do not sum to guard total %g", kindSum, h.Energy.GuardJoules)
+	}
+
+	// Energy-budget violation degrades the endpoint.
+	srv.Watchdog = &slo.Watchdog{
+		Rules:        []slo.Rule{slo.EnergyBudgetRule(0.100)},
+		GuardEnergyJ: func(core int) float64 { return 0.002 }, // 200 mW over 10 ms
+		NumCores:     1,
+	}
+	code, body = get(t, ts, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("energy violation not degraded: status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "guard_energy_budget") {
+		t.Fatalf("violation detail missing: %s", body)
+	}
+
+	// No source: no section.
+	srv.Energy = nil
+	srv.Watchdog = nil
+	_, body = get(t, ts, "/healthz")
+	if strings.Contains(body, "package_joules") {
+		t.Fatalf("energy section present without a source: %s", body)
+	}
+}

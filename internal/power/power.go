@@ -14,7 +14,6 @@ import (
 	"errors"
 	"math"
 
-	"plugvolt/internal/cpu"
 	"plugvolt/internal/sim"
 )
 
@@ -85,16 +84,42 @@ func (m Model) UndervoltSavingsPct(freqGHz, nomMV float64, offsetMV int) float64
 	return (base - under) / base * 100
 }
 
+// ModelFor returns the power model calibrated for a CPU model codename
+// (models.Spec.Codename). Unknown codenames get the Sky Lake default, so
+// mixed fleets always have a physical model per machine.
+func ModelFor(codename string) Model {
+	switch codename {
+	case "Kaby Lake R":
+		// 14nm+ mobile-derived part: lower switched capacitance, slightly
+		// less leakage than the desktop calibration.
+		return Model{CeffNF: 2.90, Activity: 1.0, LeakA: 0.072, LeakVT: 0.40}
+	case "Comet Lake":
+		// Late 14nm desktop refresh: clocked harder, leakier.
+		return Model{CeffNF: 3.60, Activity: 1.0, LeakA: 0.098, LeakVT: 0.41}
+	default:
+		return DefaultModel()
+	}
+}
+
 // IdleScaler reports the idle-state power factor for a core (1.0 = C0);
 // *pstate.IdleGovernor satisfies it.
 type IdleScaler interface {
 	PowerFactor(core int) float64
 }
 
+// OperatingPoint is the live electrical view of one core that a Meter
+// samples; *cpu.Core implements it. Keeping it an interface here is what
+// lets the cpu package own a power.Tracker without an import cycle.
+type OperatingPoint interface {
+	FreqGHz() float64
+	VoltageV() float64
+	Index() int
+}
+
 // Meter integrates a live core's power over virtual time.
 type Meter struct {
 	model  Model
-	core   *cpu.Core
+	core   OperatingPoint
 	period sim.Duration
 	ticker *sim.Ticker
 
@@ -112,7 +137,7 @@ type Meter struct {
 }
 
 // NewMeter builds a meter sampling the core every period.
-func NewMeter(model Model, c *cpu.Core, period sim.Duration) (*Meter, error) {
+func NewMeter(model Model, c OperatingPoint, period sim.Duration) (*Meter, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,4 +1,7 @@
-package power
+// External test package: cpu imports power (the platform owns an energy
+// Tracker), so these tests — which build real platforms — must live outside
+// package power to avoid an import cycle.
+package power_test
 
 import (
 	"math"
@@ -9,15 +12,16 @@ import (
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
+	"plugvolt/internal/power"
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sim"
 )
 
 func TestModelValidate(t *testing.T) {
-	if err := DefaultModel().Validate(); err != nil {
+	if err := power.DefaultModel().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := []Model{
+	bad := []power.Model{
 		{CeffNF: 0, Activity: 1, LeakA: 0.1, LeakVT: 0.4},
 		{CeffNF: 3, Activity: -0.1, LeakA: 0.1, LeakVT: 0.4},
 		{CeffNF: 3, Activity: 1.5, LeakA: 0.1, LeakVT: 0.4},
@@ -32,7 +36,7 @@ func TestModelValidate(t *testing.T) {
 }
 
 func TestCalibrationPoint(t *testing.T) {
-	m := DefaultModel()
+	m := power.DefaultModel()
 	dyn := m.DynamicW(3.2, 1.10)
 	if dyn < 12 || dyn > 14 {
 		t.Fatalf("dynamic power at calibration point %v W, want ~13", dyn)
@@ -49,9 +53,30 @@ func TestCalibrationPoint(t *testing.T) {
 	}
 }
 
+func TestModelFor(t *testing.T) {
+	specs := []string{"Sky Lake", "Kaby Lake R", "Comet Lake", "unknown"}
+	for _, name := range specs {
+		m := power.ModelFor(name)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if power.ModelFor("unknown") != power.DefaultModel() {
+		t.Fatal("unknown codename should fall back to the default model")
+	}
+	// The three fleet models must be distinguishable at a common point, so
+	// fleet joule rollups actually reflect the model mix.
+	sky := power.ModelFor("Sky Lake").TotalW(3.2, 1.10)
+	kbl := power.ModelFor("Kaby Lake R").TotalW(3.2, 1.10)
+	cml := power.ModelFor("Comet Lake").TotalW(3.2, 1.10)
+	if !(kbl < sky && sky < cml) {
+		t.Fatalf("model ordering at 3.2GHz/1.10V: kbl %v, sky %v, cml %v", kbl, sky, cml)
+	}
+}
+
 // Property: power is strictly increasing in both f and V (physical sanity).
 func TestQuickPowerMonotone(t *testing.T) {
-	m := DefaultModel()
+	m := power.DefaultModel()
 	f := func(rf, rv uint8) bool {
 		freq := 0.5 + float64(rf%40)*0.1
 		v := 0.6 + float64(rv%60)*0.01
@@ -66,7 +91,7 @@ func TestQuickPowerMonotone(t *testing.T) {
 }
 
 func TestUndervoltSavings(t *testing.T) {
-	m := DefaultModel()
+	m := power.DefaultModel()
 	// -70 mV at 3.2 GHz / 1104 mV nominal: V drops 6.3%, dynamic ~12%.
 	s := m.UndervoltSavingsPct(3.2, 1104, -70)
 	if s < 8 || s > 18 {
@@ -89,7 +114,7 @@ func TestMeterIntegratesEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	m, err := power.NewMeter(power.DefaultModel(), p.Core(0), 10*sim.Microsecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +130,7 @@ func TestMeterIntegratesEnergy(t *testing.T) {
 		t.Fatalf("elapsed %v", m.Elapsed)
 	}
 	// Constant operating point: E = P * t.
-	wantW := DefaultModel().TotalW(p.Core(0).FreqGHz(), p.Core(0).VoltageV())
+	wantW := power.DefaultModel().TotalW(p.Core(0).FreqGHz(), p.Core(0).VoltageV())
 	if math.Abs(m.AverageW()-wantW) > 1e-9 {
 		t.Fatalf("average %v W want %v", m.AverageW(), wantW)
 	}
@@ -121,7 +146,7 @@ func TestMeterIntegratesEnergy(t *testing.T) {
 func TestMeterSeesUndervolt(t *testing.T) {
 	spec, _ := models.SkyLake()
 	p, _ := cpu.NewPlatform(spec, 2)
-	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	m, err := power.NewMeter(power.DefaultModel(), p.Core(0), 10*sim.Microsecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,16 +172,16 @@ func TestMeterSeesUndervolt(t *testing.T) {
 func TestMeterValidation(t *testing.T) {
 	spec, _ := models.SkyLake()
 	p, _ := cpu.NewPlatform(spec, 1)
-	if _, err := NewMeter(Model{}, p.Core(0), sim.Microsecond); err == nil {
+	if _, err := power.NewMeter(power.Model{}, p.Core(0), sim.Microsecond); err == nil {
 		t.Fatal("invalid model accepted")
 	}
-	if _, err := NewMeter(DefaultModel(), nil, sim.Microsecond); err == nil {
+	if _, err := power.NewMeter(power.DefaultModel(), nil, sim.Microsecond); err == nil {
 		t.Fatal("nil core accepted")
 	}
-	if _, err := NewMeter(DefaultModel(), p.Core(0), 0); err == nil {
+	if _, err := power.NewMeter(power.DefaultModel(), p.Core(0), 0); err == nil {
 		t.Fatal("zero period accepted")
 	}
-	m, _ := NewMeter(DefaultModel(), p.Core(0), sim.Microsecond)
+	m, _ := power.NewMeter(power.DefaultModel(), p.Core(0), sim.Microsecond)
 	if m.AverageW() != 0 {
 		t.Fatal("average on unstarted meter")
 	}
@@ -169,7 +194,7 @@ func TestMeterWithIdleStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMeter(DefaultModel(), p.Core(0), 10*sim.Microsecond)
+	m, err := power.NewMeter(power.DefaultModel(), p.Core(0), 10*sim.Microsecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,22 +50,41 @@ const (
 	// open unsafe window (a fault with no unsafe write preceding it points
 	// at out-of-band injection). Limit is ignored.
 	KindInterventionClosure Kind = "intervention_closure"
+	// KindGuardEnergyBudget bounds the guard's mean attributed power on
+	// every core: kernel-attributed joules over the window divided by the
+	// window length must stay under BudgetW. A guard that keeps the fault
+	// guarantee by burning watts has just moved the denial of service into
+	// the electricity bill; this rule makes that loud. Limit is ignored;
+	// BudgetW is the bound. Skipped when the watchdog has no energy source.
+	KindGuardEnergyBudget Kind = "guard_energy_budget"
 )
 
 // Rule is one declarative objective.
 type Rule struct {
 	Kind Kind
 	// Limit is the rule's bound; its meaning depends on Kind (see the Kind
-	// constants). Ignored by KindInterventionClosure.
+	// constants). Ignored by KindInterventionClosure and KindGuardEnergyBudget.
 	Limit sim.Duration
+	// BudgetW is the per-core mean-power bound of KindGuardEnergyBudget, in
+	// watts. Ignored by the other kinds.
+	BudgetW float64
 }
 
 // String renders the rule for reports.
 func (r Rule) String() string {
-	if r.Kind == KindInterventionClosure {
+	switch r.Kind {
+	case KindInterventionClosure:
 		return string(r.Kind)
+	case KindGuardEnergyBudget:
+		return fmt.Sprintf("%s<=%gW", r.Kind, r.BudgetW)
 	}
 	return fmt.Sprintf("%s<=%v", r.Kind, sim.Time(r.Limit))
+}
+
+// EnergyBudgetRule builds the energy-budget objective with a per-core mean
+// guard power bound in watts.
+func EnergyBudgetRule(budgetW float64) Rule {
+	return Rule{Kind: KindGuardEnergyBudget, BudgetW: budgetW}
 }
 
 // DefaultRules derives the standard rule set from the guard's poll period:
@@ -121,6 +140,9 @@ type Stats struct {
 	MaxPollGap      sim.Duration
 	MaxUnsafeDwell  sim.Duration
 	UnclosedWindows int
+	// MaxGuardPowerW is the worst per-core mean attributed guard power seen
+	// by the energy-budget rule (0 when the rule didn't run).
+	MaxGuardPowerW float64
 }
 
 // Report is the outcome of one Evaluate call.
@@ -155,6 +177,9 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&sb, "  poll_latency_p99=%v max_poll_gap=%v max_unsafe_dwell=%v unclosed=%d\n",
 		sim.Time(r.Stats.PollLatencyP99), sim.Time(r.Stats.MaxPollGap),
 		sim.Time(r.Stats.MaxUnsafeDwell), r.Stats.UnclosedWindows)
+	if r.Stats.MaxGuardPowerW > 0 {
+		fmt.Fprintf(&sb, "  max_guard_power=%.6gW\n", r.Stats.MaxGuardPowerW)
+	}
 	for _, rule := range r.Rules {
 		fmt.Fprintf(&sb, "  rule %v\n", rule)
 	}
@@ -202,6 +227,12 @@ type Watchdog struct {
 	// a nil predicate treats every negative-offset write as unsafe (a
 	// conservative fallback when no characterization is at hand).
 	Unsafe func(core, offsetMV int) bool
+	// GuardEnergyJ reports the kernel-attributed guard energy on a core in
+	// joules (kernel.Kernel.EnergyJ); NumCores bounds the scan. Both must
+	// be set for KindGuardEnergyBudget to run — a nil source skips the rule
+	// rather than fabricating a zero reading.
+	GuardEnergyJ func(core int) float64
+	NumCores     int
 }
 
 // window is one open unsafe interval on a core.
@@ -299,9 +330,34 @@ func (w *Watchdog) Evaluate(end sim.Time) *Report {
 			w.checkDwell(rep, rule, windows)
 		case KindInterventionClosure:
 			w.checkClosure(rep, rule, windows, end)
+		case KindGuardEnergyBudget:
+			w.checkEnergyBudget(rep, rule, end)
 		}
 	}
 	return rep
+}
+
+// checkEnergyBudget converts each core's attributed joules into mean watts
+// over the window and compares against the budget. Pure: the energy source
+// is a cumulative-counter read, never a mutation.
+func (w *Watchdog) checkEnergyBudget(rep *Report, rule Rule, end sim.Time) {
+	if w.GuardEnergyJ == nil || w.NumCores <= 0 || end <= 0 {
+		return
+	}
+	windowS := end.Seconds()
+	for core := 0; core < w.NumCores; core++ {
+		avgW := w.GuardEnergyJ(core) / windowS
+		if avgW > rep.Stats.MaxGuardPowerW {
+			rep.Stats.MaxGuardPowerW = avgW
+		}
+		if avgW > rule.BudgetW {
+			rep.Violations = append(rep.Violations, Violation{
+				Rule: rule, Core: core, At: end,
+				Detail: fmt.Sprintf("guard mean power %.6g W over budget %g W (%.6g J in %v)",
+					avgW, rule.BudgetW, w.GuardEnergyJ(core), end),
+			})
+		}
+	}
 }
 
 // sortSpans orders spans by (Start, Track, Seq) — deterministic regardless

@@ -257,3 +257,51 @@ func TestPollLatencyP99(t *testing.T) {
 		t.Fatalf("p99 = %v, want 10us", sim.Time(rep.Stats.PollLatencyP99))
 	}
 }
+
+// The energy-budget rule converts each core's attributed joules into mean
+// watts over the window: under budget is quiet, over budget names the core,
+// and a watchdog without an energy source skips the rule entirely.
+func TestEnergyBudgetRule(t *testing.T) {
+	h := newHarness()
+	end := sim.Time(10 * sim.Millisecond) // window 0.01 s
+	h.polls(0, 0, end)
+	// Core 0: 0.4 mJ over 10 ms = 40 mW; core 1: 2 mJ = 200 mW.
+	joules := []float64{0.0004, 0.002}
+
+	wd := h.watchdog(allUnsafe)
+	wd.Rules = append(DefaultRules(pollPeriod), EnergyBudgetRule(0.100))
+	wd.GuardEnergyJ = func(core int) float64 { return joules[core] }
+	wd.NumCores = 2
+	rep := wd.Evaluate(end)
+	if rep.OK() {
+		t.Fatalf("200 mW over a 100 mW budget not flagged:\n%s", rep.Summary())
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0].Core != 1 {
+		t.Fatalf("violations %+v: want exactly core 1", rep.Violations)
+	}
+	if rep.Violations[0].Rule.Kind != KindGuardEnergyBudget {
+		t.Fatalf("wrong rule kind %v", rep.Violations[0].Rule.Kind)
+	}
+	if got := rep.Stats.MaxGuardPowerW; got < 0.199 || got > 0.201 {
+		t.Fatalf("MaxGuardPowerW = %g, want ~0.2", got)
+	}
+	if !strings.Contains(rep.Summary(), "max_guard_power") {
+		t.Fatalf("summary omits guard power: %s", rep.Summary())
+	}
+	if !strings.Contains(EnergyBudgetRule(0.100).String(), "guard_energy_budget<=0.1W") {
+		t.Fatalf("rule renders as %q", EnergyBudgetRule(0.100).String())
+	}
+
+	// Raising the budget over the hottest core silences the rule.
+	wd.Rules = append(DefaultRules(pollPeriod), EnergyBudgetRule(0.250))
+	if rep := wd.Evaluate(end); !rep.OK() {
+		t.Fatalf("under-budget run flagged:\n%s", rep.Summary())
+	}
+
+	// No energy source: the rule is skipped, not violated.
+	bare := h.watchdog(allUnsafe)
+	bare.Rules = append(DefaultRules(pollPeriod), EnergyBudgetRule(0.000001))
+	if rep := bare.Evaluate(end); !rep.OK() {
+		t.Fatalf("sourceless energy rule fired:\n%s", rep.Summary())
+	}
+}

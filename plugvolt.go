@@ -117,6 +117,10 @@ func NewSystemFromSpec(spec *Spec, seed int64) (*System, error) {
 		Telemetry: telemetry.NewSet(p.Sim.Now, telemetry.DefaultJournalCap, seed),
 	}
 	sys.Kernel.SetTelemetry(sys.Telemetry)
+	// Kernel time charges are priced in watts at the victim core's commanded
+	// operating point, so every stolen slice also books joules and the
+	// energy ledgers decompose by CostKind exactly like stolen time.
+	sys.Kernel.SetEnergyPrice(p.Energy.PriceW)
 	// The span tracer observes every OC-mailbox write at the register file;
 	// the platform keeps it attached across crash reboots.
 	p.SetSpanTracer(sys.Telemetry.Spans())
@@ -151,6 +155,23 @@ func (s *System) CollectTelemetry() {
 		reg.Gauge("msr_write_hook_rewrites", "OC-mailbox writes rewritten by a hook", lbl).Set(float64(st.Rewrites))
 	}
 	reg.Gauge("platform_reboots", "machine crash/reboot count", nil).Set(float64(s.Platform.Reboots))
+	if tr := s.Platform.Energy; tr != nil {
+		for i := 0; i < s.Platform.NumCores(); i++ {
+			gov := "none"
+			if s.CPUFreq != nil {
+				if pol, err := s.CPUFreq.Policy(i); err == nil && pol.Governor != "" {
+					gov = pol.Governor
+				}
+			}
+			lbl := telemetry.Labels{"core": fmt.Sprintf("%d", i), "governor": gov}
+			reg.Gauge("power_core_energy_joules",
+				"whole-core integrated energy (dynamic CV²f + leakage) over virtual time, labeled by the core's cpufreq governor", lbl).
+				Set(tr.CoreEnergyJ(i))
+		}
+		reg.Gauge("power_package_energy_joules",
+			"integrated package energy: all core planes plus constant uncore draw (the PKG RAPL quantity)", nil).
+			Set(tr.PackageEnergyJ())
+	}
 }
 
 // SetTelemetry replaces the system's telemetry set and rewires every
