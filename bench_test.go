@@ -24,6 +24,7 @@ import (
 	"plugvolt/internal/attack"
 	"plugvolt/internal/core"
 	"plugvolt/internal/fleet"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
@@ -438,9 +439,15 @@ func BenchmarkGuardPollSteadyState(b *testing.B) {
 	// registry, journal and span tracer are attached (small caps so warm-up
 	// is cheap) and the run is warmed until both journal and span buffer sit
 	// in their drop-newest regime — a long experiment's normal condition.
-	pollSteadyState := func(b *testing.B, tracing bool) {
+	pollSteadyState := func(b *testing.B, tracing, flightOn bool) {
 		sys, grid := characterize(b, "skylake", 42)
 		cfg := core.DefaultGuardConfig()
+		if flightOn {
+			// Recorder riding the hot path: the <5% regression budget on
+			// this sub-bench vs poll-telemetry-off is the flight recorder's
+			// performance contract.
+			cfg.Flight = sys.AttachFlightRecorder(0, 0)
+		}
 		if tracing {
 			tel := &telemetry.Set{
 				Reg:     telemetry.NewRegistry(sys.Platform.Sim.Now),
@@ -485,8 +492,70 @@ func BenchmarkGuardPollSteadyState(b *testing.B) {
 		b.ReportMetric(float64(guard.Checks-checksBefore)/float64(b.N), "polls/op")
 	}
 
-	b.Run("poll-telemetry-off", func(b *testing.B) { pollSteadyState(b, false) })
-	b.Run("poll-tracing-on", func(b *testing.B) { pollSteadyState(b, true) })
+	b.Run("poll-telemetry-off", func(b *testing.B) { pollSteadyState(b, false, false) })
+	b.Run("poll-tracing-on", func(b *testing.B) { pollSteadyState(b, true, false) })
+	b.Run("poll-flight-on", func(b *testing.B) { pollSteadyState(b, false, true) })
+}
+
+// Flight recorder microbenchmarks — the ns/op axes CI gates against
+// BENCH_5.json. The append path is the one that rides every guard poll and
+// mailbox write, so it must stay allocation-free and cheap; trigger/encode
+// are rare (per incident) but bounded here so the capture path cannot
+// quietly become a stall.
+func BenchmarkFlightRecorder(b *testing.B) {
+	b.Run("append", func(b *testing.B) {
+		var now sim.Time
+		rec := flight.NewRecorder(func() sim.Time { return now }, 4096, 64, "skylake", 42)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = sim.Time(i)
+			rec.GuardPoll(i&3, 32, -(i % 200), false)
+		}
+		if rec.Stats().Records != uint64(b.N) {
+			b.Fatal("ring lost records")
+		}
+	})
+
+	b.Run("trigger-capture", func(b *testing.B) {
+		var now sim.Time
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rec := flight.NewRecorder(func() sim.Time { return now }, 1024, 32, "skylake", 42)
+			for j := 0; j < 1024; j++ {
+				now = sim.Time(j)
+				rec.MailboxWrite(1, -100, 0, flight.OutcomeAccepted, uint64(j))
+			}
+			b.StartTimer()
+			rec.Trigger(flight.CauseFault, 1, "bench")
+			for j := 0; j < 32; j++ {
+				rec.GuardPoll(1, 32, -100, false)
+			}
+			if len(rec.Bundles()) != 1 {
+				b.Fatal("capture did not seal")
+			}
+		}
+	})
+
+	b.Run("encode", func(b *testing.B) {
+		var now sim.Time
+		rec := flight.NewRecorder(func() sim.Time { return now }, 1024, 8, "skylake", 42)
+		for j := 0; j < 1024; j++ {
+			now = sim.Time(j)
+			rec.MailboxWrite(1, -100, 0, flight.OutcomeAccepted, uint64(j))
+		}
+		rec.Trigger(flight.CauseFault, 1, "bench")
+		rec.Seal()
+		bundle := rec.Bundles()[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc, err := bundle.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += len(enc)
+		}
+	})
 }
 
 // Energy accounting — the joules/op regression axis: one guard poll period

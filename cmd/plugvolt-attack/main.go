@@ -17,6 +17,7 @@ import (
 	"plugvolt/internal/attack"
 	"plugvolt/internal/buildinfo"
 	"plugvolt/internal/defense"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/report"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
@@ -45,6 +46,8 @@ func main() {
 		matrix  = flag.Bool("matrix", false, "run every attack against every defense")
 		metrics = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the matrix ("-" = stdout)`)
 		events  = flag.String("events-out", "", `write the JSONL event journal here after the matrix ("-" = stdout)`)
+		incOut  = flag.String("incidents-out", "", "write captured flight-recorder incident bundles (framed, concatenated) here; inspect with plugvolt-incidents")
+		flightW = flag.Int("flight-window", 0, "post-trigger records per incident bundle (0 = default); only meaningful with -incidents-out")
 	)
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -65,13 +68,17 @@ func main() {
 	clock := &campaignClock{}
 	tel := telemetry.NewSet(clock.now, telemetry.DefaultJournalCap, *seed)
 	var results []*attack.Result
+	var bundles []*flight.Bundle
 	for _, dn := range defenseNames {
 		for _, an := range attackNames {
-			res, err := runOne(*cpuName, *seed, an, dn, tel, clock)
+			res, incidents, err := runOne(*cpuName, *seed, an, dn, *incOut != "", *flightW, tel, clock)
 			if err != nil {
 				fatal(err)
 			}
 			results = append(results, res)
+			// Combo order: the incidents file is a pure function of the
+			// flag set and seed, byte-identical across invocations.
+			bundles = append(bundles, incidents...)
 		}
 	}
 	report.WriteAttackResults(os.Stdout, results)
@@ -91,27 +98,43 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *incOut != "" {
+		data, err := flight.EncodeAll(bundles)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*incOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%d incident bundle(s) written to %s\n", len(bundles), *incOut)
+	}
 }
 
 // runOne boots a fresh system per combination so campaigns never share
 // state (crashes, characterization, module residue); the shared telemetry
-// set is rewired onto each system in turn.
-func runOne(cpuName string, seed int64, attackName, defenseName string, tel *telemetry.Set, clock *campaignClock) (*attack.Result, error) {
+// set is rewired onto each system in turn. With record set, a flight
+// recorder rides along and the combination's captured incident bundles are
+// returned (victim faults and crashes trigger captures).
+func runOne(cpuName string, seed int64, attackName, defenseName string, record bool, window int, tel *telemetry.Set, clock *campaignClock) (*attack.Result, []*flight.Bundle, error) {
 	sys, err := plugvolt.NewSystem(cpuName, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys.SetTelemetry(tel)
+	var rec *flight.Recorder
+	if record {
+		rec = sys.AttachFlightRecorder(0, window)
+	}
 	clock.cur = sys.Platform.Sim
 	var cm plugvolt.Countermeasure = defense.None{}
 	if defenseName != "none" {
 		grid, err := sys.Characterize(plugvolt.QuickSweep())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		all, err := sys.Defenses(grid)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch defenseName {
 		case "access-control":
@@ -123,11 +146,11 @@ func runOne(cpuName string, seed int64, attackName, defenseName string, tel *tel
 		case "clamp":
 			cm = all[4]
 		default:
-			return nil, fmt.Errorf("unknown defense %q", defenseName)
+			return nil, nil, fmt.Errorf("unknown defense %q", defenseName)
 		}
 	}
 	if err := cm.Install(sys.Env()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var atk attack.Attack
 	switch attackName {
@@ -138,13 +161,18 @@ func runOne(cpuName string, seed int64, attackName, defenseName string, tel *tel
 	case "v0ltpwn":
 		atk = attack.DefaultV0LTpwn()
 	default:
-		return nil, fmt.Errorf("unknown attack %q", attackName)
+		return nil, nil, fmt.Errorf("unknown attack %q", attackName)
 	}
 	res, err := atk.Run(sys.Env(), cm.Name())
 	if err == nil {
 		sys.CollectTelemetry()
 	}
-	return res, err
+	var incidents []*flight.Bundle
+	if rec != nil {
+		rec.Seal()
+		incidents = rec.Bundles()
+	}
+	return res, incidents, err
 }
 
 func fatal(err error) {

@@ -184,6 +184,9 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 	if err != nil {
 		return nil, err
 	}
+	if avail := availableMetrics(oldArt, newArt); len(avail) > 0 && !contains(avail, metric) {
+		return nil, fmt.Errorf("unknown metric %q; available: %s", metric, strings.Join(avail, ", "))
+	}
 	oldMeans := means(oldArt, metric)
 	newMeans := means(newArt, metric)
 	names := make([]string, 0, len(oldMeans))
@@ -209,6 +212,35 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 		fmt.Fprintf(w, "%-50s %14.4g %14.4g %+7.1f%%%s\n", name, o, n, delta, mark)
 	}
 	return regressed, nil
+}
+
+// availableMetrics is the sorted union of metric columns either artifact's
+// benchmarks report, so an unknown -metric fails fast naming the real ones
+// instead of claiming no benchmarks are shared.
+func availableMetrics(arts ...*Artifact) []string {
+	set := map[string]bool{}
+	for _, art := range arts {
+		for _, b := range art.Benchmarks {
+			for unit := range b.Metrics {
+				set[unit] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for unit := range set {
+		out = append(out, unit)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func load(path string) (*Artifact, error) {

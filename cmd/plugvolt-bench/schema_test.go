@@ -180,3 +180,32 @@ func TestCompareGateFlagsRegression(t *testing.T) {
 		t.Fatalf("out-of-scope regression gated: %v", regressed)
 	}
 }
+
+func TestCompareUnknownMetricFailsFastListingColumns(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.json")
+	doc := `{"context":{},"benchmarks":[
+		{"name":"BenchmarkX","iterations":300,"metrics":{"ns/op":100,"allocs/op":0}},
+		{"name":"BenchmarkY","iterations":300,"metrics":{"ns/op":200,"J/op":0.5}}],"raw":"x"}`
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	_, err := compareArtifacts(&sb, p, p, 0, nil, "joules/op")
+	if err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"joules/op"`) {
+		t.Fatalf("error does not name the bad metric: %v", err)
+	}
+	// Sorted union of every column either artifact reports.
+	if !strings.Contains(msg, "J/op, allocs/op, ns/op") {
+		t.Fatalf("error does not list the available columns: %v", err)
+	}
+
+	// A metric that exists still compares fine.
+	if _, err := compareArtifacts(&sb, p, p, 0, nil, "J/op"); err != nil {
+		t.Fatalf("known metric rejected: %v", err)
+	}
+}

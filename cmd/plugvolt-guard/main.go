@@ -19,6 +19,7 @@ import (
 
 	"plugvolt"
 	"plugvolt/internal/buildinfo"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/obs"
@@ -41,8 +42,10 @@ func main() {
 		tracePath  = flag.String("trace", "", `record the victim core's operating-point timeline and dump it as CSV here ("-" = stdout)`)
 		traceOut   = flag.String("trace-out", "", `write the causal span trace as Chrome trace JSON here ("-" = stdout); load in Perfetto`)
 		foldedOut  = flag.String("folded-out", "", `write the span trace in folded flamegraph format here ("-" = stdout)`)
-		listen     = flag.String("listen", "", `serve /metrics /events /traces /healthz /debug/pprof on this address (e.g. :8080) while the experiment runs`)
+		listen     = flag.String("listen", "", `serve /metrics /events /traces /healthz /incidents /debug/pprof on this address (e.g. :8080) while the experiment runs`)
 		sloCheck   = flag.Bool("slo", false, "evaluate the guard SLO rules after the run; exit 3 on violation")
+		incOut     = flag.String("incidents-out", "", `write captured flight-recorder incident bundles (framed, concatenated) here ("-" = stdout); inspect with plugvolt-incidents`)
+		flightW    = flag.Int("flight-window", 0, "post-trigger records per incident bundle (0 = default); only meaningful with -incidents-out or -listen")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -57,6 +60,33 @@ func main() {
 	}
 	buildinfo.Register(sys.Telemetry.Registry())
 
+	// Flight recorder: attach before characterization so the ring holds the
+	// freshest pre-trigger history of everything the machine did. Captures
+	// fire on victim crash and on SLO/energy-budget violations below.
+	var frec *flight.Recorder
+	if *incOut != "" || *listen != "" {
+		frec = sys.AttachFlightRecorder(0, *flightW)
+	}
+	dumpIncidents := func() {
+		if frec == nil || *incOut == "" {
+			return
+		}
+		frec.Seal()
+		bundles := frec.Bundles()
+		data, err := flight.EncodeAll(bundles)
+		if err != nil {
+			fatal(err)
+		}
+		if *incOut == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*incOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d incident bundle(s) written to %s\n", len(bundles), *incOut)
+	}
+
 	// The exposition server answers from its own goroutines while main
 	// drives the (single-threaded) simulator, so main holds mu while the
 	// simulation advances and the server locks it per request; the attack
@@ -69,6 +99,7 @@ func main() {
 			Collect:   sys.CollectTelemetry,
 			Clock:     func() sim.Time { return sys.Platform.Sim.Now() },
 			Energy:    func() *obs.EnergyHealth { return energyHealth(sys) },
+			Flight:    frec,
 			Lock:      &mu,
 		}
 		httpSrv, addr, err := srv.Start(*listen)
@@ -158,6 +189,8 @@ func main() {
 		res, err := loop.RunBatch()
 		if err != nil {
 			fmt.Println("   MACHINE CRASHED under attack — guard failed")
+			frec.Trigger(flight.CauseCrash, 1, fmt.Sprintf("victim crashed under attack: %v", err))
+			dumpIncidents()
 			os.Exit(2)
 		}
 		faults += res.Faults
@@ -188,6 +221,15 @@ func main() {
 		fmt.Println("\n-- SLO watchdog")
 		fmt.Print(rep.Summary())
 		sloFailed = !rep.OK()
+		// Each violated rule freezes an incident: the ring holds the guard
+		// polls and mailbox writes leading up to the breach.
+		for _, v := range rep.Violations {
+			cause := flight.CauseSLO
+			if v.Rule.Kind == slo.KindGuardEnergyBudget {
+				cause = flight.CauseEnergyBudget
+			}
+			frec.Trigger(cause, v.Core, fmt.Sprintf("%s: %s", v.Rule.String(), v.Detail))
+		}
 	}
 
 	if *traceOut != "" {
@@ -220,6 +262,7 @@ func main() {
 				Note: "offset clamped to MSR_VOLTAGE_OFFSET_LIMIT in hardware"},
 		})
 	}
+	dumpIncidents()
 	if sloFailed {
 		os.Exit(3)
 	}

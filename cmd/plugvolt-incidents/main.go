@@ -1,0 +1,119 @@
+// plugvolt-incidents inspects incident bundle files written by the flight
+// recorder (-incidents-out on plugvolt-guard and plugvolt-attack, or fetched
+// framed from a live /incidents endpoint). A file is framed bundles back to
+// back; every subcommand decodes it all-or-nothing, so a corrupt frame is an
+// error, never a silently partial listing.
+//
+// Usage:
+//
+//	plugvolt-incidents -list incidents.bin
+//	plugvolt-incidents -timeline incidents.bin          # every bundle
+//	plugvolt-incidents -timeline -n 2 incidents.bin     # 2nd bundle only
+//	plugvolt-incidents -diff a.bin b.bin                # exit 1 when they differ
+//
+// Exit codes follow diff(1): 0 success/identical, 1 bundles differ, 2 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plugvolt/internal/buildinfo"
+	"plugvolt/internal/flight"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the bundles in the file (one line each); the default mode")
+		timeline = flag.Bool("timeline", false, "print each selected bundle as a human-readable incident timeline")
+		diff     = flag.Bool("diff", false, "compare the selected bundle of two files field by field; exit 1 when they differ")
+		n        = flag.Int("n", 0, "select the n-th bundle in the file (1-based); 0 means every bundle (-list, -timeline) or the first (-diff)")
+		version  = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "plugvolt-incidents")
+		return
+	}
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
+		}
+		a := pick(readBundles(flag.Arg(0)), *n, flag.Arg(0))
+		b := pick(readBundles(flag.Arg(1)), *n, flag.Arg(1))
+		same, err := flight.Diff(os.Stdout, a, b)
+		if err != nil {
+			fatal(err)
+		}
+		if !same {
+			os.Exit(1)
+		}
+	case *timeline:
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-timeline needs exactly one file, got %d", flag.NArg()))
+		}
+		bundles := readBundles(flag.Arg(0))
+		if *n != 0 {
+			bundles = []*flight.Bundle{pick(bundles, *n, flag.Arg(0))}
+		}
+		for i, b := range bundles {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := b.WriteTimeline(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		if !*list && flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-list needs exactly one file, got %d", flag.NArg()))
+		}
+		bundles := readBundles(flag.Arg(0))
+		for i, b := range bundles {
+			fmt.Printf("%3d  %s\n", i+1, b.Label())
+			if b.Detail != "" {
+				fmt.Printf("     %s\n", b.Detail)
+			}
+		}
+		if len(bundles) == 0 {
+			fmt.Println("no incidents")
+		}
+	}
+}
+
+// readBundles decodes every framed bundle in the file.
+func readBundles(path string) []*flight.Bundle {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	bundles, err := flight.DecodeAll(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return bundles
+}
+
+// pick selects the 1-based n-th bundle (0 = first) or dies with a range
+// error naming the file.
+func pick(bundles []*flight.Bundle, n int, path string) *flight.Bundle {
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 || n > len(bundles) {
+		fatal(fmt.Errorf("%s: bundle %d out of range (file has %d)", path, n, len(bundles)))
+	}
+	return bundles[n-1]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plugvolt-incidents:", err)
+	os.Exit(2)
+}

@@ -22,6 +22,7 @@ import (
 
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/defense"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/pstate"
 	"plugvolt/internal/sim"
@@ -43,18 +44,25 @@ type campaignTel struct {
 	// campaign is the open span covering the whole Run; attack steps parent
 	// under it in the causal trace.
 	campaign *span.Active
+	// flight is the env's flight recorder (nil disables capture): every
+	// observed fault and crash both records into the ring and fires an
+	// incident trigger, freezing the pre-fault state into a bundle.
+	flight     *flight.Recorder
+	victimCore int
 }
 
-func newCampaignTel(env *defense.Env, attackName, defName string) *campaignTel {
+func newCampaignTel(env *defense.Env, attackName, defName string, victimCore int) *campaignTel {
 	reg := env.Telemetry.Registry()
 	lbl := telemetry.Labels{"attack": attackName, "defense": defName}
 	t := &campaignTel{
-		set:     env.Telemetry,
-		writes:  reg.Counter("attack_mailbox_writes_total", "OC mailbox writes issued by the campaign", lbl),
-		blocked: reg.Counter("attack_blocked_writes_total", "mailbox writes rejected by the active defense", lbl),
-		faults:  reg.Counter("attack_faults_total", "corrupted victim results observed by the campaign", lbl),
-		crashes: reg.Counter("attack_crashes_total", "machine crashes caused by the campaign", lbl),
-		spans:   env.Telemetry.Spans(),
+		set:        env.Telemetry,
+		writes:     reg.Counter("attack_mailbox_writes_total", "OC mailbox writes issued by the campaign", lbl),
+		blocked:    reg.Counter("attack_blocked_writes_total", "mailbox writes rejected by the active defense", lbl),
+		faults:     reg.Counter("attack_faults_total", "corrupted victim results observed by the campaign", lbl),
+		crashes:    reg.Counter("attack_crashes_total", "machine crashes caused by the campaign", lbl),
+		spans:      env.Telemetry.Spans(),
+		flight:     env.Flight,
+		victimCore: victimCore,
 	}
 	if t.spans != nil {
 		t.campaign = t.spans.Start("attack", "campaign_"+attackName,
@@ -70,7 +78,9 @@ func (t *campaignTel) done(r *Result) {
 	t.campaign.End()
 }
 
-// fault records n observed faults and journals the observation site.
+// fault records n observed faults, journals the observation site, and fires
+// a flight trigger so the pre-fault MSR/P-state/guard history is frozen into
+// an incident bundle.
 func (t *campaignTel) fault(r *Result, n, offsetMV int) {
 	if n <= 0 {
 		return
@@ -80,15 +90,25 @@ func (t *campaignTel) fault(r *Result, n, offsetMV int) {
 		"attack": r.Attack, "defense": r.Defense, "faults": n,
 		"offset_mv": offsetMV, "attempts": r.Attempts,
 	})
+	if t.flight != nil {
+		t.flight.Fault(t.victimCore, n, offsetMV)
+		t.flight.Trigger(flight.CauseFault, t.victimCore,
+			fmt.Sprintf("attack=%s defense=%s offset_mv=%d faults=%d", r.Attack, r.Defense, offsetMV, n))
+	}
 }
 
-// crash records a campaign-induced machine crash.
+// crash records a campaign-induced machine crash and fires a flight trigger.
 func (t *campaignTel) crash(r *Result, offsetMV int) {
 	t.crashes.Inc()
 	t.set.Events().Emit("attack_crash", map[string]any{
 		"attack": r.Attack, "defense": r.Defense,
 		"offset_mv": offsetMV, "attempts": r.Attempts,
 	})
+	if t.flight != nil {
+		t.flight.Crash(t.victimCore, offsetMV)
+		t.flight.Trigger(flight.CauseCrash, t.victimCore,
+			fmt.Sprintf("attack=%s defense=%s offset_mv=%d", r.Attack, r.Defense, offsetMV))
+	}
 }
 
 // Result records one attack campaign.
@@ -222,7 +242,7 @@ func (a *Plundervolt) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
-	tel := newCampaignTel(env, r.Attack, defName)
+	tel := newCampaignTel(env, r.Attack, defName, a.VictimCore)
 	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
@@ -330,7 +350,7 @@ func (a *VoltJockey) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
-	tel := newCampaignTel(env, r.Attack, defName)
+	tel := newCampaignTel(env, r.Attack, defName, a.VictimCore)
 	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()
@@ -506,7 +526,7 @@ func (a *V0LTpwn) Run(env *defense.Env, defName string) (*Result, error) {
 	}
 	p := env.Platform
 	r := &Result{Attack: a.Name(), Defense: defName, Model: p.Spec.Codename}
-	tel := newCampaignTel(env, r.Attack, defName)
+	tel := newCampaignTel(env, r.Attack, defName, a.VictimCore)
 	defer tel.done(r)
 	start := p.Sim.Now()
 	defer func() { r.Duration = p.Sim.Now() - start }()

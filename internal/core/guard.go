@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"plugvolt/internal/flight"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sim"
@@ -68,6 +69,13 @@ type GuardConfig struct {
 	// behaviour is identical either way (observing never charges time or
 	// draws randomness).
 	Telemetry *telemetry.Set
+
+	// Flight, when set, receives one compact record per poll and per
+	// intervention, and is handed the compiled unsafe-set view so incident
+	// bundles carry the exact boundary the guard was enforcing. Like
+	// Telemetry, attaching it never changes guard behaviour, and the
+	// per-poll record stays on the allocation-free hot path.
+	Flight *flight.Recorder
 }
 
 // DefaultGuardConfig polls every 100 us and restores stock voltage.
@@ -130,6 +138,9 @@ type Guard struct {
 	// by reference (never mutated after construction) so tracing a poll does
 	// not allocate.
 	pollAttrs []map[string]any
+	// flight is the flight recorder (nil disables it); its per-poll record
+	// is a fixed-size ring store, keeping the hot path allocation-free.
+	flight *flight.Recorder
 }
 
 // pollLatencyBuckets bound the per-core poll cost histogram in seconds. A
@@ -175,7 +186,30 @@ func NewGuard(unsafe *UnsafeSet, busMHz int, cfg GuardConfig) (*Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Guard{cfg: cfg, unsafe: unsafe, busMHz: busMHz, lut: lut, deficitRuns: map[int]int{}}, nil
+	if cfg.Flight != nil {
+		cfg.Flight.SetGuardView(guardView(lut, cfg))
+	}
+	return &Guard{cfg: cfg, unsafe: unsafe, busMHz: busMHz, lut: lut,
+		flight: cfg.Flight, deficitRuns: map[int]int{}}, nil
+}
+
+// guardView freezes the compiled decision table into the flight recorder's
+// bundle header form: the per-ratio unsafe thresholds (margin folded in) in
+// ascending ratio order, plus the enforcement parameters.
+func guardView(lut *RatioLUT, cfg GuardConfig) *flight.GuardView {
+	v := &flight.GuardView{
+		Model:       lut.Model,
+		BusMHz:      lut.BusMHz,
+		MarginMV:    cfg.MarginMV,
+		SafeMV:      cfg.SafeOffsetMV,
+		PollPeriodP: int64(cfg.PollPeriod),
+	}
+	for r := 0; r < 256; r++ {
+		if th, ok := lut.Threshold(uint8(r)); ok {
+			v.Thresholds = append(v.Thresholds, flight.RatioThreshold{Ratio: r, ThresholdMV: th})
+		}
+	}
+	return v
 }
 
 // Module returns the loadable kernel module housing the guard. Loading it
@@ -334,7 +368,9 @@ func (g *Guard) pollOne(t *kernel.KThread, core int) {
 
 	// Membership with the conservative margin pre-folded in: a state within
 	// MarginMV of the measured boundary is treated as unsafe.
-	if g.lut.Unsafe(ratio, offsetMV) {
+	unsafe := g.lut.Unsafe(ratio, offsetMV)
+	g.flight.GuardPoll(core, ratio, offsetMV, unsafe)
+	if unsafe {
 		g.intervene(t, core, ratio, offsetMV)
 	}
 	g.endPoll(&sc, t, busyBefore)
@@ -372,6 +408,7 @@ func (g *Guard) intervene(t *kernel.KThread, core int, ratio uint8, offsetMV int
 	isp.SetAttr("ok", err == nil)
 	isp.SetAttr("energy_pj", g.k.EnergyPJ(core)-energyBefore)
 	isp.EndWithCost(t.Busy - writeBusy)
+	g.flight.GuardIntervention(core, offsetMV, g.cfg.SafeOffsetMV, err == nil)
 	if err == nil {
 		g.Interventions++
 		g.LastIntervention = g.k.Sim().Now()

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"plugvolt/internal/clockgen"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/power"
@@ -100,6 +101,9 @@ type Core struct {
 	// transition so the platform's joule integrator closes the previous
 	// piecewise-constant segment exactly at the transition instant.
 	energy *power.Tracker
+	// flight, when set, records every commanded operating-point change —
+	// the P-state transition stream an incident bundle replays.
+	flight *flight.Recorder
 
 	// Retired counts successfully executed instructions; Faulted counts
 	// instructions whose result was corrupted.
@@ -156,10 +160,12 @@ func (c *Core) CommandedVoltV() float64 {
 // it the single energy-integration point.
 func (c *Core) retarget() {
 	nominal := c.spec.NominalMV(c.targetRatio)
-	c.VR.SetTarget(nominal + msr.UnitsToMV(c.planeOffsets[msr.PlaneCore]))
+	target := nominal + msr.UnitsToMV(c.planeOffsets[msr.PlaneCore])
+	c.VR.SetTarget(target)
 	if c.energy != nil {
 		c.energy.Touch(c.index)
 	}
+	c.flight.PStateRetarget(c.index, c.targetRatio, int64(target*1000))
 }
 
 // SetRatio commands a P-state change through the hardware path. The PCU
@@ -432,6 +438,10 @@ type Platform struct {
 	// here so Reboot can re-attach it after rebuilding the files.
 	spans *span.Tracer
 
+	// flight is the flight recorder attached to every observation point;
+	// kept here so Reboot can re-attach it like the span tracer.
+	flight *flight.Recorder
+
 	// Energy is the platform's deterministic joule integrator. It bills
 	// each core's commanded operating point piecewise-constantly over the
 	// virtual clock (touched from retarget) and backs the modeled RAPL
@@ -636,8 +646,10 @@ func (p *Platform) Reboot() {
 		c.wireMSRs()
 		// The rebuilt register file must keep observing mailbox writes: a
 		// crash-reboot cycle mid-experiment would otherwise silently detach
-		// the causal trace.
+		// the causal trace — and the flight recorder, whose whole job is
+		// explaining the crash that caused this very reboot.
 		c.MSRs.SetSpanTracer(p.spans)
+		c.MSRs.SetFlightRecorder(p.flight)
 	}
 	// The rebuilt register files need the RAPL read functions back, exactly
 	// like the span tracer above.
@@ -657,6 +669,21 @@ func (p *Platform) SetSpanTracer(tr *span.Tracer) {
 	p.spans = tr
 	for _, c := range p.cores {
 		c.MSRs.SetSpanTracer(tr)
+	}
+}
+
+// SetFlightRecorder attaches the flight recorder to every observation point
+// the platform owns — mailbox writes at each core's MSR file, commanded
+// operating-point changes at retarget, and energy-segment boundaries at the
+// joule integrator — and keeps it attached across reboots. Nil detaches.
+func (p *Platform) SetFlightRecorder(rec *flight.Recorder) {
+	p.flight = rec
+	for _, c := range p.cores {
+		c.flight = rec
+		c.MSRs.SetFlightRecorder(rec)
+	}
+	if p.Energy != nil {
+		p.Energy.SetFlightRecorder(rec)
 	}
 }
 

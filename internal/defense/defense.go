@@ -21,6 +21,7 @@ import (
 
 	"plugvolt/internal/core"
 	"plugvolt/internal/cpu"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/sgx"
@@ -36,6 +37,10 @@ type Env struct {
 	// write counters, fault events). Optional: a nil set disables it and
 	// every instrument degrades to a no-op.
 	Telemetry *telemetry.Set
+	// Flight, when set, is the machine's flight recorder: attack campaigns
+	// fire incident triggers into it at every observed victim fault and
+	// machine crash. Optional; nil disables capture.
+	Flight *flight.Recorder
 }
 
 // Validate checks the env is complete.

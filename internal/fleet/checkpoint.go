@@ -92,7 +92,13 @@ type Checkpoint struct {
 	ModelRows    []ModelSummary      `json:"by_model"`
 	Failures     []*MachineError     `json:"failures,omitempty"`
 	TotalErrors  int                 `json:"total_errors"`
-	Merged       *telemetry.Snapshot `json:"merged"`
+	// Incidents carries the capped flight-recorder bundle list across the
+	// boundary (the exact count lives in Aggregate.Incidents), so a resumed
+	// run's incident collection is byte-identical to an uninterrupted one.
+	// Additive and omitempty: checkpoints without flight recording keep
+	// their version-1 shape.
+	Incidents []Incident          `json:"incidents,omitempty"`
+	Merged    *telemetry.Snapshot `json:"merged"`
 }
 
 // fingerprint hashes every config field that can change a result byte —
@@ -111,6 +117,9 @@ func (cfg *StreamConfig) fingerprint(epochs int, modelNames []string) uint64 {
 	g := cfg.Guard
 	put("guard=%d,%d,%t,%d,%d,%t,%d,%d|", int64(g.PollPeriod), g.PinnedCore, g.PerCoreThreads,
 		g.SafeOffsetMV, g.MarginMV, g.VoltageCrossCheck, g.CrossCheckSlackMV, g.CrossCheckPersist)
+	// The flight window is experiment identity: it decides which records a
+	// captured bundle carries, so a resume must not re-slice it.
+	put("flight=%d|", cfg.FlightWindow)
 	return h.Sum64()
 }
 
@@ -131,6 +140,7 @@ func (cfg *StreamConfig) checkpoint(st *streamState, epochs int, modelNames []st
 		ModelRows:    st.modelRows(),
 		Failures:     st.partial.Failures,
 		TotalErrors:  st.partial.Total,
+		Incidents:    st.incidents,
 		Merged:       st.merged,
 	}
 }
@@ -153,6 +163,7 @@ func (ck *Checkpoint) restore(cfg *StreamConfig, epochs int, modelNames []string
 		st.models[row.Model] = &row
 	}
 	st.partial = &PartialError{Total: ck.TotalErrors, Failures: ck.Failures}
+	st.incidents = ck.Incidents
 	if ck.Merged != nil {
 		st.merged = ck.Merged
 	}

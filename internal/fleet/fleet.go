@@ -34,6 +34,7 @@ import (
 
 	"plugvolt"
 	"plugvolt/internal/attack"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/models"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
@@ -129,6 +130,16 @@ type Config struct {
 	// Guard overrides the countermeasure config; the zero value selects
 	// plugvolt.DefaultGuardConfig().
 	Guard plugvolt.GuardConfig
+	// FlightWindow, when > 0, attaches a flight recorder to every machine:
+	// pre-trigger state (mailbox writes, P-state retargets, guard polls,
+	// energy segments) is continuously ring-logged on the virtual clock, and
+	// a victim fault or crash freezes a deterministic incident bundle with
+	// this many post-trigger records. Captured bundles surface in the
+	// report's Incidents list (machine index order, capped at
+	// maxRecordedIncidents) and in per-row/per-model/aggregate counts.
+	// 0 disables recording entirely — the guard hot path never sees the
+	// recorder.
+	FlightWindow int
 }
 
 // MachineSeed derives machine index's seed from the fleet seed — a pure
@@ -167,7 +178,10 @@ type MachineSummary struct {
 	// deterministic joule integrator.
 	EnergyJ float64        `json:"energy_joules"`
 	Attack  *AttackSummary `json:"attack,omitempty"`
-	Err     string         `json:"error,omitempty"`
+	// Incidents counts the flight-recorder bundles this machine captured
+	// (0 and absent unless Config.FlightWindow enabled recording).
+	Incidents int    `json:"incidents,omitempty"`
+	Err       string `json:"error,omitempty"`
 }
 
 // Aggregate is the fleet-level rollup, summed in machine-index order.
@@ -188,6 +202,10 @@ type Aggregate struct {
 	// EnergyJ sums the machines' package energy in index order; like every
 	// other aggregate field it is independent of the execution split.
 	EnergyJ float64 `json:"energy_joules"`
+	// Incidents counts every flight-recorder capture across the fleet —
+	// exact at any scale, even when the report's verbatim bundle list is
+	// capped. Absent when flight recording is disabled.
+	Incidents int `json:"incidents,omitempty"`
 }
 
 // Report is a completed fleet run. Its JSON and the merged exposition are
@@ -202,6 +220,10 @@ type Report struct {
 	} `json:"fleet"`
 	MachineRows []MachineSummary `json:"machines"`
 	Aggregate   Aggregate        `json:"aggregate"`
+	// Incidents are the captured flight-recorder bundles in machine index
+	// order, capped at maxRecordedIncidents; Aggregate.Incidents keeps the
+	// exact count. Empty unless Config.FlightWindow enabled recording.
+	Incidents []Incident `json:"incidents,omitempty"`
 	// Merged is the fleet-wide telemetry aggregate: every machine's snapshot
 	// folded through telemetry.MergeSnapshots in index order. Excluded from
 	// the JSON report (it has its own exposition format); render it with
@@ -223,9 +245,10 @@ func (r *Report) WriteMetrics(w io.Writer) error {
 // step: the report row, the machine's telemetry snapshot, and its typed
 // failure (nil for a healthy machine).
 type machineResult struct {
-	row  MachineSummary
-	snap *telemetry.Snapshot
-	err  *MachineError
+	row       MachineSummary
+	snap      *telemetry.Snapshot
+	err       *MachineError
+	incidents []Incident
 }
 
 // Run simulates the fleet and merges the results. Per-machine failures are
@@ -280,6 +303,7 @@ func Run(cfg Config) (*Report, error) {
 		row := results[i].row
 		rep.MachineRows = append(rep.MachineRows, row)
 		foldRow(&rep.Aggregate, &row)
+		rep.Incidents = appendIncidents(rep.Incidents, results[i].incidents)
 		if results[i].err != nil {
 			partial.record(results[i].err)
 		}
@@ -341,6 +365,7 @@ func foldRow(agg *Aggregate, row *MachineSummary) {
 	agg.Reboots += row.Reboots
 	agg.VirtualPS += row.VirtualPS
 	agg.EnergyJ += row.EnergyJ
+	agg.Incidents += row.Incidents
 	if row.Err != "" {
 		agg.Errors++
 	}
@@ -394,6 +419,12 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec, epochs in
 	sys, err := plugvolt.NewSystemFromSpec(spec, seed)
 	if err != nil {
 		return fail("boot", err)
+	}
+	// Attach before deploy so the guard freezes its unsafe-set view into the
+	// recorder and every poll/write of the machine's life is on the ring.
+	var rec *flight.Recorder
+	if cfg.FlightWindow > 0 {
+		rec = sys.AttachFlightRecorder(0, cfg.FlightWindow)
 	}
 	sweep := cfg.Sweep
 	if sweep.Iterations == 0 {
@@ -454,8 +485,10 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec, epochs in
 	row.Reboots = sys.Platform.Reboots
 	row.VirtualPS = int64(sys.Platform.Sim.Now())
 	row.EnergyJ = sys.Platform.Energy.PackageEnergyJ()
+	incidents := collectIncidents(idx, model, rec)
+	row.Incidents = len(incidents)
 	sys.CollectTelemetry()
-	return machineResult{row: row, snap: sys.Telemetry.Registry().Snapshot()}
+	return machineResult{row: row, snap: sys.Telemetry.Registry().Snapshot(), incidents: incidents}
 }
 
 // campaignFor builds the per-machine attack campaign; nil means "none".

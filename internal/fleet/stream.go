@@ -138,6 +138,9 @@ type ModelSummary struct {
 	// EnergyJ is the model's total package energy, folded in machine index
 	// order so the rollup is byte-identical across execution splits.
 	EnergyJ float64 `json:"energy_joules"`
+	// Incidents counts the model's flight-recorder captures; absent unless
+	// Config.FlightWindow enabled recording.
+	Incidents int `json:"incidents,omitempty"`
 }
 
 // foldModel accumulates one machine row into its model's rollup.
@@ -148,6 +151,7 @@ func (m *ModelSummary) foldModel(row *MachineSummary) {
 	m.Reboots += row.Reboots
 	m.VirtualPS += row.VirtualPS
 	m.EnergyJ += row.EnergyJ
+	m.Incidents += row.Incidents
 	if row.Err != "" {
 		m.Errors++
 	}
@@ -178,6 +182,10 @@ type StreamReport struct {
 	} `json:"fleet"`
 	ModelRows []ModelSummary `json:"by_model"`
 	Aggregate Aggregate      `json:"aggregate"`
+	// Incidents are the captured flight-recorder bundles in machine index
+	// order, capped at maxRecordedIncidents and carried across checkpoint
+	// boundaries; Aggregate.Incidents keeps the exact count.
+	Incidents []Incident `json:"incidents,omitempty"`
 	// Merged is the fleet-wide telemetry fold; render with WriteMetrics.
 	Merged *telemetry.Snapshot `json:"-"`
 }
@@ -200,6 +208,7 @@ type streamState struct {
 	models       map[string]*ModelSummary
 	partial      *PartialError
 	merged       *telemetry.Snapshot
+	incidents    []Incident
 	batchesDone  int
 }
 
@@ -280,6 +289,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			r := &results[j]
 			foldRow(&st.agg, &r.row)
 			st.modelRollup(r.row.Model).foldModel(&r.row)
+			st.incidents = appendIncidents(st.incidents, r.incidents)
 			if r.err != nil {
 				st.partial.record(r.err)
 			}
@@ -323,6 +333,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	rep.Fleet.WindowPS = int64(cfg.Window)
 	rep.ModelRows = st.modelRows()
 	rep.Aggregate = st.agg
+	rep.Incidents = st.incidents
 	rep.Merged = st.merged
 	if st.partial.Total > 0 {
 		return rep, st.partial

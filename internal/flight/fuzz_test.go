@@ -1,0 +1,71 @@
+package flight
+
+import (
+	"errors"
+	"testing"
+
+	"plugvolt/internal/sim"
+)
+
+// FuzzIncidentBundleDecode feeds DecodeBundle arbitrary bytes: it must never
+// panic, and every rejection must be a *BundleError wrapping one of the
+// sentinel classes. Accepted inputs must round-trip byte-identically.
+func FuzzIncidentBundleDecode(f *testing.F) {
+	// Seed with a valid frame and targeted corruptions of it.
+	var now sim.Time
+	r := NewRecorder(func() sim.Time { return now }, 16, 2, "skylake", 7)
+	r.SetGuardView(&GuardView{Model: "skylake", BusMHz: 100,
+		Thresholds: []RatioThreshold{{Ratio: 30, ThresholdMV: -195}}})
+	now = 5
+	r.MailboxWrite(1, -230, 0, OutcomeAccepted, 3)
+	r.Trigger(CauseFault, 1, "seed")
+	r.Seal()
+	good, err := r.Bundles()[0].Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:bundleHeaderLen])
+	f.Add(good[:len(good)-1])
+	bad := append([]byte(nil), good...)
+	bad[0] = 'Q'
+	f.Add(bad)
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-2] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, n, err := DecodeBundle(data)
+		if err != nil {
+			var be *BundleError
+			if !errors.As(err, &be) {
+				t.Fatalf("rejection %T is not *BundleError: %v", err, err)
+			}
+			if !errors.Is(err, ErrBundleTruncated) && !errors.Is(err, ErrBundleMagic) &&
+				!errors.Is(err, ErrBundleVersion) && !errors.Is(err, ErrBundleChecksum) &&
+				!errors.Is(err, ErrBundlePayload) {
+				t.Fatalf("rejection has no sentinel class: %v", err)
+			}
+			return
+		}
+		if n < bundleHeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted bundle: %v", err)
+		}
+		b2, _, err := DecodeBundle(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted bundle: %v", err)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatal("accepted bundle does not round-trip byte-identically")
+		}
+	})
+}

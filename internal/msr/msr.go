@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"plugvolt/internal/flight"
 	"plugvolt/internal/telemetry/span"
 )
 
@@ -317,6 +318,12 @@ type File struct {
 	// accepted/blocked/rewritten outcome. Nil (the default, including on the
 	// characterizer's private row platforms) keeps Write allocation-free.
 	spans *span.Tracer
+
+	// flight, when set, receives the same mailbox voltage write commands as
+	// compact flight records (offset, plane, outcome, causal span ID) — the
+	// pre-trigger evidence stream behind incident bundles. The flight path
+	// stays allocation-free even with spans detached.
+	flight *flight.Recorder
 }
 
 // NewFile builds an MSR file for the given core with the standard registers
@@ -432,18 +439,28 @@ func (f *File) Read(addr Addr) (uint64, error) {
 // re-applies it when a reboot rebuilds the register file.
 func (f *File) SetSpanTracer(tr *span.Tracer) { f.spans = tr }
 
-// traceMailboxWrite records one mailbox voltage-write span. outcome is
-// "accepted", "rewritten" (a hook transformed the command — clamp or
-// write-ignore) or "blocked" (a hook or the commit stage rejected it, #GP to
-// the writer).
-func (f *File) traceMailboxWrite(proposed uint64, outcome string) {
-	d := DecodeVoltageOffset(proposed)
-	f.spans.Instant(fmt.Sprintf("msr/core%d", f.core), "mailbox_write", map[string]any{
-		"core":      f.core,
-		"offset_mv": d.OffsetMV,
-		"plane":     d.Plane.String(),
-		"outcome":   outcome,
-	})
+// SetFlightRecorder attaches (or, with nil, detaches) the flight recorder
+// that observes OC-mailbox voltage write commands on this file. As with the
+// span tracer, the platform re-applies it across reboots.
+func (f *File) SetFlightRecorder(rec *flight.Recorder) { f.flight = rec }
+
+// observeMailboxWrite records one mailbox voltage-write observation: a span
+// (when a tracer is attached) and a flight record (when a recorder is
+// attached) carrying the span's ID so the bundle links back into the trace.
+// outcome is "accepted", "rewritten" (a hook transformed the command — clamp
+// or write-ignore) or "blocked" (a hook or the commit stage rejected it, #GP
+// to the writer); flag is the matching flight outcome code.
+func (f *File) observeMailboxWrite(dec DecodedMailbox, outcome string, flag uint8) {
+	var id span.ID
+	if f.spans != nil {
+		id = f.spans.Instant(fmt.Sprintf("msr/core%d", f.core), "mailbox_write", map[string]any{
+			"core":      f.core,
+			"offset_mv": dec.OffsetMV,
+			"plane":     dec.Plane.String(),
+			"outcome":   outcome,
+		})
+	}
+	f.flight.MailboxWrite(f.core, dec.OffsetMV, uint8(dec.Plane), flag, uint64(id))
 }
 
 // Write implements wrmsr, running the register's write hooks.
@@ -459,12 +476,14 @@ func (f *File) Write(addr Addr, val uint64) error {
 	if d.Locked {
 		return &GPFault{Addr: addr, Op: "wrmsr", Why: "MSR locked"}
 	}
-	// Trace only OC-mailbox voltage write commands: the wrmsr at the heart
+	// Observe only OC-mailbox voltage write commands: the wrmsr at the heart
 	// of every DVFS fault attack and of the guard's corrective rewrite.
-	traced := f.spans != nil && addr == OCMailbox
-	if traced {
-		if dec := DecodeVoltageOffset(val); !dec.Busy || !dec.Write {
-			traced = false // read command or inert write: not a voltage change
+	observed := (f.spans != nil || f.flight != nil) && addr == OCMailbox
+	var dec DecodedMailbox
+	if observed {
+		dec = DecodeVoltageOffset(val)
+		if !dec.Busy || !dec.Write {
+			observed = false // read command or inert write: not a voltage change
 		}
 	}
 	old := f.vals[i]
@@ -474,8 +493,8 @@ func (f *File) Write(addr Addr, val uint64) error {
 		nv, err := e.fn(f, old, v)
 		if err != nil {
 			d.HookStats.Rejects++
-			if traced {
-				f.traceMailboxWrite(val, "blocked")
+			if observed {
+				f.observeMailboxWrite(dec, "blocked", flight.OutcomeBlocked)
 			}
 			return err
 		}
@@ -488,19 +507,19 @@ func (f *File) Write(addr Addr, val uint64) error {
 	if d.Apply != nil {
 		nv, err := d.Apply(f, old, v)
 		if err != nil {
-			if traced {
-				f.traceMailboxWrite(val, "blocked")
+			if observed {
+				f.observeMailboxWrite(dec, "blocked", flight.OutcomeBlocked)
 			}
 			return err
 		}
 		v = nv
 	}
-	if traced {
-		outcome := "accepted"
+	if observed {
+		outcome, flag := "accepted", flight.OutcomeAccepted
 		if hookFinal != val {
-			outcome = "rewritten"
+			outcome, flag = "rewritten", flight.OutcomeRewritten
 		}
-		f.traceMailboxWrite(val, outcome)
+		f.observeMailboxWrite(dec, outcome, flag)
 	}
 	// Re-resolve the slot: a hook or Apply may have Declared registers and
 	// relocated the table.

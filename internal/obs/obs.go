@@ -10,6 +10,7 @@
 //	/events         event journal as JSONL; ?n=100 tails the last 100
 //	/traces         Chrome trace-event JSON (load in Perfetto); ?format=folded
 //	/healthz        JSON health document; 503 when an SLO is violated
+//	/incidents      flight-recorder incident bundles; ?seq=N fetches one
 //	/debug/pprof/*  standard Go profiling endpoints
 //
 // The simulator is not thread-safe and the server answers from its own
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"plugvolt/internal/buildinfo"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/slo"
 	"plugvolt/internal/telemetry"
@@ -55,6 +57,9 @@ type Server struct {
 	// energy broken down by CostKind (the power_energy_joules_total series,
 	// surfaced here so health checks need not scrape /metrics).
 	Energy func() *EnergyHealth
+	// Flight, when set, backs /incidents (bundle list + fetch) and the
+	// /healthz flight section (ring utilization and capture counters).
+	Flight *flight.Recorder
 	// Lock, when set, is held across every handler body.
 	Lock sync.Locker
 }
@@ -74,6 +79,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/incidents", s.handleIncidents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -107,6 +113,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /events?n=100   event journal tail (JSONL)")
 	fmt.Fprintln(w, "  /traces         Chrome trace JSON (?format=folded for flamegraphs)")
 	fmt.Fprintln(w, "  /healthz        health + SLO status (JSON)")
+	fmt.Fprintln(w, "  /incidents      flight-recorder incident bundles (?seq=N fetches one)")
 	fmt.Fprintln(w, "  /debug/pprof/   Go profiling")
 }
 
@@ -175,6 +182,9 @@ type Health struct {
 	Spans   BufferHealth  `json:"spans"`
 	SLO     *SLOHealth    `json:"slo,omitempty"`
 	Energy  *EnergyHealth `json:"energy,omitempty"`
+	// Flight reports the flight recorder's ring utilization and capture
+	// counters when a recorder is attached.
+	Flight *flight.Stats `json:"flight,omitempty"`
 }
 
 // BufferHealth describes one drop-newest bounded buffer.
@@ -184,10 +194,51 @@ type BufferHealth struct {
 	Dropped uint64 `json:"dropped"`
 }
 
-// SLOHealth summarizes the watchdog evaluation.
+// SLOHealth summarizes the watchdog evaluation. A degraded document names
+// each breached rule with its bound and measured value (ViolatedRules) and
+// carries the window's evaluation stats, so an operator sees which rule
+// fired — and by how much — without re-scraping /metrics.
 type SLOHealth struct {
 	OK         bool     `json:"ok"`
 	Violations []string `json:"violations,omitempty"`
+	// ViolatedRules is the structured form of Violations: one entry per
+	// breach, rule identity and numbers split out.
+	ViolatedRules []ViolatedRule `json:"violated_rules,omitempty"`
+	// Stats is what the evaluation window saw (poll counts, tail latencies,
+	// dwell maxima, worst guard power), violated or not.
+	Stats *SLOStats `json:"stats,omitempty"`
+}
+
+// ViolatedRule is one structured SLO breach.
+type ViolatedRule struct {
+	// Rule is the rule's display form with its bound (e.g.
+	// "max_poll_gap<=400us"); Kind is the bare rule family name.
+	Rule string `json:"rule"`
+	Kind string `json:"kind"`
+	// Core is the affected core, -1 when not core-specific.
+	Core       int   `json:"core"`
+	AtPS       int64 `json:"at_ps"`
+	MeasuredPS int64 `json:"measured_ps"`
+	// LimitPS is the duration bound (latency/gap/dwell kinds); BudgetW the
+	// power bound (energy-budget kind). The inapplicable one is zero.
+	LimitPS int64   `json:"limit_ps,omitempty"`
+	BudgetW float64 `json:"budget_w,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// SLOStats mirrors slo.Stats with a stable JSON schema.
+type SLOStats struct {
+	Polls            int     `json:"polls"`
+	Interventions    int     `json:"interventions"`
+	AcceptedWrites   int     `json:"accepted_writes"`
+	UnsafeWrites     int     `json:"unsafe_writes"`
+	GuardedWrites    int     `json:"guarded_writes"`
+	Faults           int     `json:"faults"`
+	PollLatencyP99PS int64   `json:"poll_latency_p99_ps"`
+	MaxPollGapPS     int64   `json:"max_poll_gap_ps"`
+	MaxUnsafeDwellPS int64   `json:"max_unsafe_dwell_ps"`
+	UnclosedWindows  int     `json:"unclosed_windows"`
+	MaxGuardPowerW   float64 `json:"max_guard_power_w"`
 }
 
 // EnergyHealth is the /healthz joule ledger: integrator totals plus the
@@ -222,6 +273,29 @@ func (s *Server) health() Health {
 		sh := &SLOHealth{OK: rep.OK()}
 		for _, v := range rep.Violations {
 			sh.Violations = append(sh.Violations, v.String())
+			sh.ViolatedRules = append(sh.ViolatedRules, ViolatedRule{
+				Rule:       v.Rule.String(),
+				Kind:       string(v.Rule.Kind),
+				Core:       v.Core,
+				AtPS:       int64(v.At),
+				MeasuredPS: int64(v.Measured),
+				LimitPS:    int64(v.Rule.Limit),
+				BudgetW:    v.Rule.BudgetW,
+				Detail:     v.Detail,
+			})
+		}
+		sh.Stats = &SLOStats{
+			Polls:            rep.Stats.Polls,
+			Interventions:    rep.Stats.Interventions,
+			AcceptedWrites:   rep.Stats.AcceptedWrites,
+			UnsafeWrites:     rep.Stats.UnsafeWrites,
+			GuardedWrites:    rep.Stats.GuardedWrites,
+			Faults:           rep.Stats.Faults,
+			PollLatencyP99PS: int64(rep.Stats.PollLatencyP99),
+			MaxPollGapPS:     int64(rep.Stats.MaxPollGap),
+			MaxUnsafeDwellPS: int64(rep.Stats.MaxUnsafeDwell),
+			UnclosedWindows:  rep.Stats.UnclosedWindows,
+			MaxGuardPowerW:   rep.Stats.MaxGuardPowerW,
 		}
 		h.SLO = sh
 		if !rep.OK() {
@@ -230,6 +304,10 @@ func (s *Server) health() Health {
 	}
 	if s.Energy != nil {
 		h.Energy = s.Energy()
+	}
+	if s.Flight != nil {
+		st := s.Flight.Stats()
+		h.Flight = &st
 	}
 	return h
 }
@@ -247,4 +325,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(h)
+}
+
+// IncidentSummary is one /incidents list row.
+type IncidentSummary struct {
+	Seq       int    `json:"seq"`
+	Cause     string `json:"cause"`
+	Core      int    `json:"core"`
+	TriggerPS int64  `json:"trigger_ps"`
+	Detail    string `json:"detail,omitempty"`
+	Records   int    `json:"records"`
+	Model     string `json:"model"`
+	Seed      int64  `json:"seed"`
+}
+
+// handleIncidents lists sealed incident bundles, or fetches one by
+// sequence number: ?seq=N returns the bundle JSON, ?seq=N&format=framed the
+// CRC-framed binary encoding (the -incidents-out file format).
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	defer s.lock()()
+	var bundles []*flight.Bundle
+	if s.Flight != nil {
+		bundles = s.Flight.Bundles()
+	}
+	q := r.URL.Query().Get("seq")
+	if q == "" {
+		list := make([]IncidentSummary, 0, len(bundles))
+		for _, b := range bundles {
+			list = append(list, IncidentSummary{
+				Seq: b.Seq, Cause: b.Cause, Core: b.Core, TriggerPS: b.TriggerPS,
+				Detail: b.Detail, Records: len(b.Records), Model: b.Model, Seed: b.Seed,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
+		return
+	}
+	seq, err := strconv.Atoi(q)
+	if err != nil {
+		http.Error(w, "obs: seq must be an integer", http.StatusBadRequest)
+		return
+	}
+	var found *flight.Bundle
+	for _, b := range bundles {
+		if b.Seq == seq {
+			found = b
+			break
+		}
+	}
+	if found == nil {
+		http.Error(w, fmt.Sprintf("obs: no incident with seq %d", seq), http.StatusNotFound)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(found)
+	case "framed":
+		data, err := found.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	default:
+		http.Error(w, "obs: unknown format "+format, http.StatusBadRequest)
+	}
 }

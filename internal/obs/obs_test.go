@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"plugvolt/internal/flight"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/slo"
 	"plugvolt/internal/telemetry"
@@ -316,5 +317,150 @@ func TestHealthzEnergySection(t *testing.T) {
 	_, body = get(t, ts, "/healthz")
 	if strings.Contains(body, "package_joules") {
 		t.Fatalf("energy section present without a source: %s", body)
+	}
+}
+
+// flightFixture seals one captured incident into a recorder for the
+// /incidents endpoint tests.
+func flightFixture() *flight.Recorder {
+	var now sim.Time
+	rec := flight.NewRecorder(func() sim.Time { return now }, 64, 2, "skylake", 7)
+	rec.SetGuardView(&flight.GuardView{Model: "skylake", BusMHz: 100,
+		Thresholds: []flight.RatioThreshold{{Ratio: 30, ThresholdMV: -195}}})
+	now = 5 * sim.Microsecond
+	rec.MailboxWrite(1, -230, 0, flight.OutcomeAccepted, 11)
+	now = 6 * sim.Microsecond
+	rec.Fault(1, 1, -230)
+	rec.Trigger(flight.CauseFault, 1, "test fault")
+	rec.Seal()
+	return rec
+}
+
+// TestIncidentsEndpoint covers the /incidents surface: the summary list,
+// fetch-by-seq in JSON and framed form, and the error paths.
+func TestIncidentsEndpoint(t *testing.T) {
+	srv, _ := fixture(t)
+	srv.Flight = flightFixture()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/incidents")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var list []IncidentSummary
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if len(list) != 1 || list[0].Seq != 1 || list[0].Cause != "fault" || list[0].Core != 1 {
+		t.Fatalf("list %+v", list)
+	}
+
+	code, body = get(t, ts, "/incidents?seq=1")
+	if code != http.StatusOK {
+		t.Fatalf("fetch status %d", code)
+	}
+	var b flight.Bundle
+	if err := json.Unmarshal([]byte(body), &b); err != nil {
+		t.Fatalf("bundle not JSON: %v", err)
+	}
+	if b.Detail != "test fault" || len(b.Records) == 0 || b.Guard == nil {
+		t.Fatalf("bundle %+v", b)
+	}
+
+	// The framed form is the -incidents-out byte format: it must decode.
+	code, framed := get(t, ts, "/incidents?seq=1&format=framed")
+	if code != http.StatusOK {
+		t.Fatalf("framed status %d", code)
+	}
+	fb, n, err := flight.DecodeBundle([]byte(framed))
+	if err != nil || n != len(framed) {
+		t.Fatalf("framed fetch does not decode: %v (consumed %d of %d)", err, n, len(framed))
+	}
+	if fb.Detail != "test fault" {
+		t.Fatalf("framed bundle %+v", fb)
+	}
+
+	if code, _ := get(t, ts, "/incidents?seq=99"); code != http.StatusNotFound {
+		t.Fatalf("unknown seq: status %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/incidents?seq=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad seq: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/incidents?seq=1&format=yaml"); code != http.StatusBadRequest {
+		t.Fatalf("bad format: status %d, want 400", code)
+	}
+}
+
+// TestIncidentsEndpointWithoutRecorder: the endpoint stays useful (empty
+// list) when no recorder is attached.
+func TestIncidentsEndpointWithoutRecorder(t *testing.T) {
+	srv, _ := fixture(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/incidents")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("status %d body %q, want 200 []", code, body)
+	}
+}
+
+// TestHealthzFlightSection: with a recorder attached, /healthz reports ring
+// utilization and capture counters.
+func TestHealthzFlightSection(t *testing.T) {
+	srv, _ := fixture(t)
+	srv.Flight = flightFixture()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/healthz")
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Flight == nil {
+		t.Fatalf("flight section missing: %s", body)
+	}
+	if h.Flight.Triggers != 1 || h.Flight.Captures != 1 || h.Flight.Bundles != 1 || h.Flight.Records == 0 {
+		t.Fatalf("flight stats %+v", h.Flight)
+	}
+}
+
+// TestHealthzDegradedBodyNamesViolatedRules is the structured-503 contract:
+// the degraded body must name each violated rule (kind, bound, measured
+// value) and carry the window stats, not just a prose summary.
+func TestHealthzDegradedBodyNamesViolatedRules(t *testing.T) {
+	srv, now := fixture(t)
+	*now = 100 * sim.Millisecond
+	srv.Watchdog = &slo.Watchdog{
+		Tracer:  srv.Telemetry.Spans(),
+		Journal: srv.Telemetry.Events(),
+		Rules:   slo.DefaultRules(100 * sim.Microsecond),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.SLO == nil || len(h.SLO.ViolatedRules) == 0 {
+		t.Fatalf("degraded body carries no violated_rules: %s", body)
+	}
+	for _, vr := range h.SLO.ViolatedRules {
+		if vr.Rule == "" || vr.Kind == "" {
+			t.Fatalf("violated rule lacks identity: %+v", vr)
+		}
+		if vr.MeasuredPS == 0 && vr.Detail == "" {
+			t.Fatalf("violated rule lacks a measured value: %+v", vr)
+		}
+	}
+	if h.SLO.Stats == nil {
+		t.Fatalf("degraded body carries no window stats: %s", body)
+	}
+	if h.SLO.Stats.Polls == 0 {
+		t.Fatalf("stats did not count the fixture's poll span: %+v", h.SLO.Stats)
 	}
 }

@@ -3,6 +3,7 @@ package power
 import (
 	"errors"
 
+	"plugvolt/internal/flight"
 	"plugvolt/internal/sim"
 )
 
@@ -48,7 +49,17 @@ type Tracker struct {
 	// UncoreW is billed on top of the per-core integrals in
 	// PackageEnergyJ (PKG = PP0 + uncore), constant while powered.
 	UncoreW float64
+
+	// flight, when set, records every segment boundary (Touch/Blackout)
+	// with the newly billed power — the energy-segment stream an incident
+	// bundle correlates against P-state retargets and mailbox writes.
+	// Observation only: it never changes what is billed.
+	flight *flight.Recorder
 }
+
+// SetFlightRecorder attaches (nil detaches) the flight recorder observing
+// segment boundaries.
+func (t *Tracker) SetFlightRecorder(rec *flight.Recorder) { t.flight = rec }
 
 // NewTracker builds a tracker over numCores cores. The clock and point
 // functions must be non-nil; each core's first segment opens at now().
@@ -106,6 +117,7 @@ func (t *Tracker) accrue(core int) *coreMeter {
 func (t *Tracker) Touch(core int) {
 	m := t.accrue(core)
 	m.lastW = t.PriceW(core)
+	t.flight.EnergySegment(core, m.lastW)
 }
 
 // TouchAll touches every core (index order, for deterministic rounding).
@@ -120,6 +132,7 @@ func (t *Tracker) TouchAll() {
 func (t *Tracker) Blackout(core int) {
 	m := t.accrue(core)
 	m.lastW = 0
+	t.flight.EnergySegment(core, 0)
 }
 
 // CoreW returns the power currently billed to a core.

@@ -326,3 +326,90 @@ func TestSetConstruction(t *testing.T) {
 		t.Fatal("Seconds conversion")
 	}
 }
+
+// TestJournalExactCapacityBoundary pins down the off-by-one surface of the
+// drop-newest policy: the cap-th Emit is retained, Full() flips exactly
+// there (not one early), and every rejection after the flip — and only
+// those — is counted and reported via OnDrop.
+func TestJournalExactCapacityBoundary(t *testing.T) {
+	const cap = 4
+	now := sim.Time(0)
+	j := NewJournal(testClock(&now), cap)
+
+	var dropCB int
+	j.OnDrop(func() { dropCB++ })
+
+	// Fill to exactly cap. At every step short of cap the journal must not
+	// report full — a premature Full() would make hot paths suppress events
+	// the journal still has room for.
+	for i := 0; i < cap; i++ {
+		if j.Full() {
+			t.Fatalf("full at len %d, cap %d", j.Len(), cap)
+		}
+		now = sim.Time(i) * sim.Microsecond
+		j.Emit("tick", map[string]any{"i": i})
+	}
+	if j.Len() != cap {
+		t.Fatalf("len %d after filling to cap %d", j.Len(), cap)
+	}
+	if !j.Full() {
+		t.Fatal("not full at exactly cap")
+	}
+	if j.Dropped() != 0 || dropCB != 0 {
+		t.Fatalf("drops before the cap was exceeded: counter %d, callback %d", j.Dropped(), dropCB)
+	}
+
+	// The first over-cap Emit is rejected, keeping the oldest history.
+	j.Emit("over", map[string]any{"i": cap})
+	if j.Len() != cap {
+		t.Fatalf("len %d after over-cap emit", j.Len())
+	}
+	if j.Dropped() != 1 || dropCB != 1 {
+		t.Fatalf("one rejection, counter %d, callback %d", j.Dropped(), dropCB)
+	}
+	if got := len(j.OfType("over")); got != 0 {
+		t.Fatalf("over-cap event retained: %d", got)
+	}
+
+	// The retained window is the exact prefix: events 0..cap-1 in order.
+	for i, e := range j.Events() {
+		if e.Fields["i"] != i {
+			t.Fatalf("retained event %d carries i=%v; drop-newest must keep the opening", i, e.Fields["i"])
+		}
+	}
+
+	// Counter and callback stay in lockstep across further rejections.
+	for i := 0; i < 3; i++ {
+		j.Emit("over", nil)
+	}
+	if j.Dropped() != 4 || dropCB != 4 {
+		t.Fatalf("counter %d, callback %d after 4 total rejections", j.Dropped(), dropCB)
+	}
+}
+
+// TestJournalCapOneAndDefault: the degenerate smallest journal still obeys
+// the boundary contract, and a non-positive cap selects the default.
+func TestJournalCapOneAndDefault(t *testing.T) {
+	now := sim.Time(0)
+	j := NewJournal(testClock(&now), 1)
+	if j.Full() {
+		t.Fatal("empty cap-1 journal reports full")
+	}
+	j.Emit("only", nil)
+	if !j.Full() || j.Len() != 1 || j.Dropped() != 0 {
+		t.Fatalf("after one emit: full=%v len=%d dropped=%d", j.Full(), j.Len(), j.Dropped())
+	}
+	j.Emit("rejected", nil)
+	if j.Len() != 1 || j.Dropped() != 1 {
+		t.Fatalf("after rejection: len=%d dropped=%d", j.Len(), j.Dropped())
+	}
+	if ev := j.Events(); len(ev) != 1 || ev[0].Type != "only" {
+		t.Fatalf("retained %+v", ev)
+	}
+
+	for _, cap := range []int{0, -7} {
+		if got := NewJournal(testClock(&now), cap).Cap(); got != DefaultJournalCap {
+			t.Fatalf("cap %d selected %d, want DefaultJournalCap", cap, got)
+		}
+	}
+}

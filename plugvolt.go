@@ -24,6 +24,7 @@ import (
 	"plugvolt/internal/core"
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/defense"
+	"plugvolt/internal/flight"
 	"plugvolt/internal/kernel"
 	"plugvolt/internal/models"
 	"plugvolt/internal/msr"
@@ -81,6 +82,10 @@ type System struct {
 	// clocked by the system simulator. Always non-nil after NewSystem; the
 	// guard, kernel, attacks and characterizer publish into it by default.
 	Telemetry *telemetry.Set
+	// Flight is the optional flight recorder (nil until
+	// AttachFlightRecorder): the continuous pre-trigger state ring behind
+	// incident bundles.
+	Flight *flight.Recorder
 }
 
 // NewSystem boots a simulated machine of the named model ("skylake",
@@ -136,7 +141,21 @@ func NewSystemFromSpec(spec *Spec, seed int64) (*System, error) {
 // Env packages the system for attack/defense deployment.
 func (s *System) Env() *defense.Env {
 	return &defense.Env{Platform: s.Platform, Kernel: s.Kernel,
-		Registry: s.Registry, Telemetry: s.Telemetry}
+		Registry: s.Registry, Telemetry: s.Telemetry, Flight: s.Flight}
+}
+
+// AttachFlightRecorder creates the system's flight recorder (ring capacity
+// and post-trigger window; <= 0 selects flight.DefaultCap/DefaultWindow) and
+// wires it into every observation point: mailbox writes at each core's MSR
+// file, P-state retargets, energy-segment boundaries, and — through Env()
+// and GuardConfig defaulting — attack triggers and guard polls. Idempotent
+// per system: a second call replaces the recorder.
+func (s *System) AttachFlightRecorder(ringCap, window int) *flight.Recorder {
+	rec := flight.NewRecorder(s.Platform.Sim.Now, ringCap, window,
+		s.Platform.Spec.Codename, s.Platform.Seed())
+	s.Flight = rec
+	s.Platform.SetFlightRecorder(rec)
+	return rec
 }
 
 // CollectTelemetry publishes the pull-style state — kernel CPU-time
@@ -171,6 +190,14 @@ func (s *System) CollectTelemetry() {
 		reg.Gauge("power_package_energy_joules",
 			"integrated package energy: all core planes plus constant uncore draw (the PKG RAPL quantity)", nil).
 			Set(tr.PackageEnergyJ())
+	}
+	if s.Flight != nil {
+		st := s.Flight.Stats()
+		reg.Gauge("flight_records_total", "flight-recorder ring appends", nil).Set(float64(st.Records))
+		reg.Gauge("flight_overwrites_total", "flight records evicted by ring overwrite (oldest-first)", nil).Set(float64(st.Overwrites))
+		reg.Gauge("flight_triggers_total", "incident triggers fired into the flight recorder", nil).Set(float64(st.Triggers))
+		reg.Gauge("flight_captures_total", "incident bundles sealed by the flight recorder", nil).Set(float64(st.Captures))
+		reg.Gauge("flight_bundles_dropped_total", "sealed bundles discarded past the retention cap", nil).Set(float64(st.BundlesDropped))
 	}
 }
 
@@ -255,6 +282,9 @@ func (s *System) DeployGuardConfig(grid *Grid, cfg GuardConfig) (*defense.Pollin
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = s.Telemetry
 	}
+	if cfg.Flight == nil {
+		cfg.Flight = s.Flight
+	}
 	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, cfg)
 	if err != nil {
 		return nil, err
@@ -275,6 +305,7 @@ func (s *System) Defenses(grid *Grid) ([]Countermeasure, error) {
 	}
 	gcfg := core.DefaultGuardConfig()
 	gcfg.Telemetry = s.Telemetry
+	gcfg.Flight = s.Flight
 	pol, err := defense.NewPolling(grid.UnsafeSet(), s.Platform.Spec.BusMHz, gcfg)
 	if err != nil {
 		return nil, err
