@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGridFromJSON -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzLUTContainsEquivalence -fuzztime 10s
 	$(GO) test ./internal/flight -run '^$$' -fuzz FuzzIncidentBundleDecode -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzRowMonotonicity -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -41,7 +42,7 @@ bench:
 # or feed the raw fields to benchstat (see EXPERIMENTS.md).
 bench-json:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput|FleetStreaming|EnergyAccounting|FlightRecorder' \
+	{ $(GO) test -bench 'Fig|Table1MailboxCodec|CharacterizeWorkers|GuardPollSteadyState|FleetThroughput|FleetStreaming|EnergyAccounting|FlightRecorder|BisectVsSweep|AnnealTimeToFault' \
 		-benchtime 300x -count 5 -run '^$$' -timeout 30m . ; \
 	  $(GO) test -bench . -benchtime 300x -count 5 -run '^$$' \
 		./internal/sim ./internal/timing ; } \

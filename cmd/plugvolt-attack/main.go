@@ -41,7 +41,8 @@ func main() {
 	var (
 		cpuName = flag.String("cpu", "skylake", "CPU model: skylake, kabylaker or cometlake")
 		seed    = flag.Int64("seed", 42, "experiment seed")
-		atkName = flag.String("attack", "plundervolt", "attack: plundervolt, voltjockey, v0ltpwn or all")
+		atkName = flag.String("attack", "plundervolt", "attack: plundervolt, voltjockey, v0ltpwn, redteam or all")
+		search  = flag.String("search", "replay", "attack schedule: replay (published fixed schedules) or anneal (adaptive red-team glitch search; one search-trace span per probe)")
 		defName = flag.String("defense", "none", "defense: none, access-control, polling, microcode, clamp or all")
 		matrix  = flag.Bool("matrix", false, "run every attack against every defense")
 		metrics = flag.String("metrics-out", "", `write the Prometheus metric exposition here after the matrix ("-" = stdout)`)
@@ -60,6 +61,15 @@ func main() {
 	defenseNames := []string{*defName}
 	if *matrix || *atkName == "all" {
 		attackNames = []string{"plundervolt", "voltjockey", "v0ltpwn"}
+	}
+	switch *search {
+	case "replay":
+	case "anneal":
+		// The adaptive glitch search replaces the published schedules: the
+		// campaign list collapses to the annealing red-team attacker.
+		attackNames = []string{"redteam"}
+	default:
+		fatal(fmt.Errorf("unknown search mode %q (want replay or anneal)", *search))
 	}
 	if *matrix || *defName == "all" {
 		defenseNames = []string{"none", "access-control", "polling", "microcode", "clamp"}
@@ -160,6 +170,8 @@ func runOne(cpuName string, seed int64, attackName, defenseName string, record b
 		atk = attack.DefaultVoltJockey()
 	case "v0ltpwn":
 		atk = attack.DefaultV0LTpwn()
+	case "redteam":
+		atk = attack.DefaultRedTeam(seed)
 	default:
 		return nil, nil, fmt.Errorf("unknown attack %q", attackName)
 	}

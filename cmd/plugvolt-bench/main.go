@@ -184,8 +184,17 @@ func compareArtifacts(w io.Writer, oldPath, newPath string, failOver float64, ga
 	if err != nil {
 		return nil, err
 	}
-	if avail := availableMetrics(oldArt, newArt); len(avail) > 0 && !contains(avail, metric) {
-		return nil, fmt.Errorf("unknown metric %q; available: %s", metric, strings.Join(avail, ", "))
+	// Fail fast naming the artifact that lacks the requested metric, so a
+	// stale baseline (recorded before a metric existed) is diagnosed as
+	// such rather than surfacing as "no common benchmarks".
+	for _, a := range []struct {
+		path string
+		art  *Artifact
+	}{{oldPath, oldArt}, {newPath, newArt}} {
+		if avail := availableMetrics(a.art); len(avail) > 0 && !contains(avail, metric) {
+			return nil, fmt.Errorf("artifact %s has no %q metric; it reports: %s",
+				a.path, metric, strings.Join(avail, ", "))
+		}
 	}
 	oldMeans := means(oldArt, metric)
 	newMeans := means(newArt, metric)

@@ -209,3 +209,47 @@ func TestCompareUnknownMetricFailsFastListingColumns(t *testing.T) {
 		t.Fatalf("known metric rejected: %v", err)
 	}
 }
+
+// TestCompareNamesArtifactLackingMetric pins the diagnosis when only one
+// side lacks the requested metric — e.g. a BENCH baseline recorded before
+// probes/op existed: the error must name that artifact and its real
+// columns, not claim no benchmarks are shared.
+func TestCompareNamesArtifactLackingMetric(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, doc string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", `{"context":{},"benchmarks":[
+		{"name":"BenchmarkBisectVsSweep/bisect","iterations":1,"metrics":{"ns/op":100}}],"raw":"x"}`)
+	newP := write("new.json", `{"context":{},"benchmarks":[
+		{"name":"BenchmarkBisectVsSweep/bisect","iterations":1,"metrics":{"ns/op":90,"probes/op":120}}],"raw":"x"}`)
+
+	var sb strings.Builder
+	_, err := compareArtifacts(&sb, oldP, newP, 0, nil, "probes/op")
+	if err == nil {
+		t.Fatal("metric missing from the baseline accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, oldP) {
+		t.Fatalf("error does not name the artifact lacking the metric: %v", err)
+	}
+	if strings.Contains(msg, newP) {
+		t.Fatalf("error blames the artifact that has the metric: %v", err)
+	}
+	if !strings.Contains(msg, `"probes/op"`) || !strings.Contains(msg, "ns/op") {
+		t.Fatalf("error does not state the missing metric and the real columns: %v", err)
+	}
+	if strings.Contains(msg, "no common") {
+		t.Fatalf("still the generic no-common-benchmarks error: %v", err)
+	}
+
+	// Swapped order: the error must follow the lacking artifact.
+	_, err = compareArtifacts(&sb, newP, oldP, 0, nil, "probes/op")
+	if err == nil || !strings.Contains(err.Error(), oldP) {
+		t.Fatalf("swapped order does not name the lacking artifact: %v", err)
+	}
+}

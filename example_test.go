@@ -45,9 +45,9 @@ func Example() {
 	fmt.Printf("benign offset preserved: %d mV\n", sys.Platform.Core(2).OffsetMV())
 
 	// Output:
-	// fault onset at 3.2 GHz: -115 mV
-	// maximal safe state: -70 mV
+	// fault onset at 3.2 GHz: -120 mV
+	// maximal safe state: -65 mV
 	// offset after guard intervention: 0 mV
 	// interventions: 1
-	// benign offset preserved: -60 mV
+	// benign offset preserved: -55 mV
 }

@@ -127,6 +127,10 @@ type Result struct {
 	Crashes int
 	// KeyRecovered reports a successful Plundervolt factorization.
 	KeyRecovered bool
+	// ProbesToFirstFault is the 1-based probe ordinal at which a
+	// search-based campaign (redteam) first faulted the victim; 0 when no
+	// probe faulted or the campaign is not search-based.
+	ProbesToFirstFault int
 	// Succeeded is the attack-specific success criterion.
 	Succeeded bool
 	// Duration is the virtual time the campaign consumed.

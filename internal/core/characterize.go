@@ -7,6 +7,7 @@ import (
 	"plugvolt/internal/cpu"
 	"plugvolt/internal/msr"
 	"plugvolt/internal/pstate"
+	"plugvolt/internal/rng"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
 )
@@ -36,6 +37,14 @@ type CharacterizerConfig struct {
 	// bit-for-bit independent of the worker count: every row derives its
 	// RNG stream from seed^freqKHz, not from sweep order.
 	Workers int
+	// Strategy selects how the sharded engine explores each frequency row.
+	// StrategySweep (or "") measures every offset cell left to right;
+	// StrategyBisect predicts the row analytically, verifies the fault and
+	// crash onsets with O(log N) measured probes, and falls back to a full
+	// linear sweep on any row where a measured probe contradicts the
+	// prediction. Both strategies produce byte-identical grids. The serial
+	// Characterizer only implements StrategySweep.
+	Strategy string
 	// Progress, when set, is called after each frequency row completes.
 	// Under the sharded engine rows finish out of order: freqKHz names the
 	// row that just completed and rowsDone counts completions so far.
@@ -49,6 +58,15 @@ type CharacterizerConfig struct {
 	// run to run; everything else is deterministic.
 	Telemetry *telemetry.Set
 }
+
+// Sweep strategies accepted by CharacterizerConfig.Strategy.
+const (
+	// StrategySweep measures every offset cell (Algorithm 2 as written).
+	StrategySweep = "sweep"
+	// StrategyBisect locates each row's fault and crash onsets by
+	// model-guided binary search, with a verified linear-scan fallback.
+	StrategyBisect = "bisect"
+)
 
 // DefaultCharacterizerConfig matches the paper's sweep.
 func DefaultCharacterizerConfig() CharacterizerConfig {
@@ -72,6 +90,9 @@ type Characterizer struct {
 	P   *cpu.Platform
 	cfg CharacterizerConfig
 	cp  *pstate.CPUPower
+	// probes counts measurePoint calls — the sweep-vs-bisect economics the
+	// sharded engine reports through SearchStats.
+	probes int
 }
 
 // validateConfig checks a sweep config against a core count (shared by the
@@ -93,6 +114,11 @@ func validateConfig(cfg CharacterizerConfig, numCores int) error {
 	}
 	if cfg.OffsetStartMV >= 0 || cfg.OffsetEndMV > cfg.OffsetStartMV {
 		return fmt.Errorf("core: bad offset range %d..%d", cfg.OffsetStartMV, cfg.OffsetEndMV)
+	}
+	switch cfg.Strategy {
+	case "", StrategySweep, StrategyBisect:
+	default:
+		return fmt.Errorf("core: unknown sweep strategy %q", cfg.Strategy)
 	}
 	return nil
 }
@@ -126,6 +152,9 @@ func (c *Characterizer) offsets() []int { return offsetAxis(c.cfg) }
 
 // Run executes Algorithm 2 and returns the characterization grid.
 func (c *Characterizer) Run() (*Grid, error) {
+	if c.cfg.Strategy == StrategyBisect {
+		return nil, errors.New("core: bisect strategy requires the sharded engine (ShardedCharacterizer)")
+	}
 	p := c.P
 	freqs := p.FreqTableKHz()
 	offs := c.offsets()
@@ -223,33 +252,74 @@ func (c *Characterizer) resetCPUPower() {
 	c.cp = &pstate.CPUPower{M: mgr}
 }
 
-// measurePoint programs one (frequency, offset) pair and runs the EXECUTE
-// thread.
+// class returns the configured EXECUTE-thread class, defaulted.
+func (c *Characterizer) class() cpu.Class {
+	if c.cfg.Class == "" {
+		return cpu.ClassIMul
+	}
+	return c.cfg.Class
+}
+
+// probeU derives the row's coupled probe thresholds: two uniforms that are
+// a pure function of (platform seed, row frequency). The first is compared
+// against P(any crash in the batch), the second against P(any fault) —
+// common random numbers across every cell of the row. Coupling the cells
+// this way leaves each cell's marginal outcome distributed exactly as an
+// independent batch draw would be, but makes the realized row provably
+// monotone whenever the underlying probabilities are (u fixed, p
+// non-decreasing in depth), which is the invariant onset bisection needs.
+//
+// The seed mixes via a Gamma multiply rather than the sharded engine's
+// RowSeed XOR: sharded row platforms are already seeded seed^freqKHz, and
+// XORing freqKHz in again would cancel back to the experiment seed and
+// couple all rows to each other.
+func (c *Characterizer) probeU(freqKHz int) (uFault, uCrash float64) {
+	stream := rng.NewSeeded(rng.IndexSeed(c.P.Seed(), freqKHz))
+	uCrash = stream.Float64()
+	uFault = stream.Float64()
+	return uFault, uCrash
+}
+
+// classifyCoupled applies coupled thresholds to batch-level upset
+// probabilities, mirroring RunBatch's ordering: the crash draw happens
+// first, faults only matter in a surviving batch.
+func classifyCoupled(pAnyFault, pAnyCrash, uFault, uCrash float64) Classification {
+	if uCrash < pAnyCrash {
+		return Crash
+	}
+	if uFault < pAnyFault {
+		return Fault
+	}
+	return Safe
+}
+
+// measurePoint programs one (frequency, offset) pair and measures the
+// EXECUTE thread's outcome. The batch outcome is drawn with the row's
+// coupled thresholds (see probeU) against the live per-instruction
+// probabilities — which reflect whatever actually reached the rail,
+// including MSR-hook or defense interference — so a cell's class is a
+// deterministic function of the realized operating point, identical no
+// matter which strategy or visit order reaches it.
 func (c *Characterizer) measurePoint(freqKHz, offsetMV int) (Classification, error) {
 	p := c.P
 	// Line 10-11: compute the 0x150 value via Algorithm 1 and write it.
 	if err := p.WriteOffsetViaMSR(c.cfg.VictimCore, offsetMV, msr.PlaneCore); err != nil {
 		return Safe, err
 	}
-	p.SettleAll()
+	// SettleCommanded, not just SettleAll: the probe must observe the
+	// commanded (f, V) point even when a pending relock's deadline outruns
+	// the rail's settle (see its doc) — otherwise a cell's class would
+	// depend on the probe order, breaking sweep/bisect equivalence.
+	p.SettleCommanded(c.cfg.VictimCore)
 	if c.cfg.SettleWait > 0 {
 		p.Sim.RunFor(c.cfg.SettleWait)
 	}
-	class := c.cfg.Class
-	if class == "" {
-		class = cpu.ClassIMul
-	}
-	res, err := p.Core(c.cfg.VictimCore).RunBatch(class, c.cfg.Iterations)
-	if err != nil {
-		if errors.Is(err, cpu.ErrCrashed) {
-			return Crash, nil
-		}
-		return Safe, err
-	}
-	if res.Faults > 0 {
-		return Fault, nil
-	}
-	return Safe, nil
+	c.probes++
+	core := p.Core(c.cfg.VictimCore)
+	uF, uC := c.probeU(freqKHz)
+	pAnyC := cpu.BatchUpsetProbability(c.cfg.Iterations, core.CrashProbability())
+	pAnyF := cpu.BatchUpsetProbability(c.cfg.Iterations, core.FaultProbability(c.class()))
+	return classifyCoupled(pAnyF, pAnyC, uF, uC), nil
 }
 
 // restore re-applies the original frequency and zero offset (Algorithm 2

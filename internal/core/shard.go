@@ -38,6 +38,9 @@ type ShardedCharacterizer struct {
 	spec *models.Spec
 	seed int64
 	cfg  CharacterizerConfig
+	// stats holds the most recent Run's probe economics, written only by
+	// the merge loop (see Stats).
+	stats SearchStats
 }
 
 // NewShardedCharacterizer validates the sweep config against the spec.
@@ -77,10 +80,12 @@ type rowResult struct {
 	reboots int
 	err     error
 	// worker identifies the goroutine that swept the row; virtual is the
-	// row platform's elapsed virtual time. Both feed telemetry only — the
-	// merged grid never depends on them.
+	// row platform's elapsed virtual time; stats carries the row's search
+	// economics. All three feed telemetry only — the merged grid never
+	// depends on them.
 	worker  int
 	virtual sim.Duration
+	stats   rowStats
 }
 
 // Run executes the sharded sweep and returns the merged grid. The result is
@@ -114,9 +119,19 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 			defer wg.Done()
 			for fi := range jobs {
 				row := cells[fi*len(offs) : (fi+1)*len(offs) : (fi+1)*len(offs)]
-				reboots, virtual, err := sc.sweepRow(row, freqs[fi], offs)
+				var (
+					reboots int
+					virtual sim.Duration
+					st      rowStats
+					err     error
+				)
+				if sc.cfg.Strategy == StrategyBisect {
+					reboots, virtual, st, err = sc.bisectRow(row, freqs[fi], offs)
+				} else {
+					reboots, virtual, st, err = sc.sweepRow(row, freqs[fi], offs)
+				}
 				results <- rowResult{fi: fi, row: row, reboots: reboots,
-					err: err, worker: w, virtual: virtual}
+					err: err, worker: w, virtual: virtual, stats: st}
 			}
 		}(w)
 	}
@@ -135,7 +150,8 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 	// and telemetry updates are serialized here: rows may finish out of
 	// order, but callbacks never run concurrently and rowsDone counts
 	// completions monotonically.
-	obs := newSweepObserver(sc.cfg.Telemetry, workers)
+	obs := newSweepObserver(sc.cfg.Telemetry, workers, sc.strategy())
+	sc.stats = SearchStats{Strategy: sc.strategy()}
 	var firstErr error
 	done := 0
 	for r := range results {
@@ -148,6 +164,14 @@ func (sc *ShardedCharacterizer) Run() (*Grid, error) {
 		mergeRow(g, r)
 		done++
 		obs.row(freqs[r.fi], r)
+		sc.stats.Rows++
+		sc.stats.Probes += r.stats.probes
+		if r.stats.fallback {
+			sc.stats.FallbackRows++
+		}
+		if rowHasOnset(r.row) {
+			sc.stats.OnsetRows++
+		}
 		if sc.cfg.Progress != nil {
 			sc.cfg.Progress(freqs[r.fi], done, len(freqs))
 		}
@@ -172,12 +196,16 @@ type sweepObserver struct {
 	util    []*telemetry.Gauge
 	rate    *telemetry.Gauge
 
+	probesC   *telemetry.Counter
+	onsetC    *telemetry.Counter
+	fallbackC *telemetry.Counter
+
 	rows         int
 	totalVirtual sim.Duration
 	workerVirt   []sim.Duration
 }
 
-func newSweepObserver(tel *telemetry.Set, workers int) *sweepObserver {
+func newSweepObserver(tel *telemetry.Set, workers int, strategy string) *sweepObserver {
 	o := &sweepObserver{tel: tel, workerVirt: make([]sim.Duration, workers)}
 	if tel == nil {
 		return o
@@ -185,6 +213,13 @@ func newSweepObserver(tel *telemetry.Set, workers int) *sweepObserver {
 	reg := tel.Registry()
 	o.rowsC = reg.Counter("characterize_rows_total", "completed frequency rows", nil)
 	o.rebootC = reg.Counter("characterize_reboots_total", "crash recoveries during the sweep", nil)
+	lbl := telemetry.Labels{"strategy": strategy}
+	o.probesC = reg.Counter("search_probes_total",
+		"measured sim probes spent classifying frequency rows", lbl)
+	o.onsetC = reg.Counter("search_onset_found",
+		"frequency rows where an unsafe onset was located", lbl)
+	o.fallbackC = reg.Counter("search_fallback_rows_total",
+		"bisect rows that fell back to a verified linear sweep", lbl)
 	for _, cls := range []Classification{Safe, Fault, Crash} {
 		o.cellsC[cls] = reg.Counter("characterize_cells_total",
 			"classified (frequency, offset) grid points",
@@ -225,6 +260,13 @@ func (o *sweepObserver) row(freqKHz int, r rowResult) {
 	}
 	o.rowsC.Inc()
 	o.rebootC.Add(float64(r.reboots))
+	o.probesC.Add(float64(r.stats.probes))
+	if perClass[Fault]+perClass[Crash] > 0 {
+		o.onsetC.Inc()
+	}
+	if r.stats.fallback {
+		o.fallbackC.Inc()
+	}
 	for cls, n := range perClass {
 		o.cellsC[cls].Add(float64(n))
 	}
@@ -259,6 +301,16 @@ func (o *sweepObserver) finish() {
 	}
 }
 
+// rowHasOnset reports whether a row contains any non-Safe cell.
+func rowHasOnset(row []Classification) bool {
+	for _, c := range row {
+		if c != Safe {
+			return true
+		}
+	}
+	return false
+}
+
 // mergeRow lands one finished row in the grid. Placement is by frequency
 // index and the reboot count is a sum, so the merged grid is independent of
 // arrival order.
@@ -272,31 +324,33 @@ func mergeRow(g *Grid, r rowResult) {
 // serial engine's row sweep into the caller's row buffer, and restore —
 // exactly the per-row protocol of Characterizer.Run, minus the cross-row
 // state.
-func (sc *ShardedCharacterizer) sweepRow(row []Classification, freqKHz int, offs []int) (int, sim.Duration, error) {
+func (sc *ShardedCharacterizer) sweepRow(row []Classification, freqKHz int, offs []int) (int, sim.Duration, rowStats, error) {
+	var st rowStats
 	p, err := sc.Factory(RowSeed(sc.seed, freqKHz))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, st, err
 	}
 	ch, err := NewCharacterizer(p, sc.cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, st, err
 	}
 	// Algorithm 2 lines 6-7: record the normal operating point.
 	origStatus, err := p.MSRFile(sc.cfg.VictimCore).Read(msr.IA32PerfStatus)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, st, err
 	}
 	origRatio, _ := msr.DecodePerfStatus(origStatus)
 	origFreqKHz := msr.RatioToKHz(origRatio, p.Spec.BusMHz)
 
 	if err := ch.sweepRowInto(row, freqKHz, offs); err != nil {
-		return 0, 0, err
+		return 0, 0, st, err
 	}
+	st.probes = ch.probes
 	// Lines 13-14: restore the stock frequency and zero offset. The platform
-	// is discarded afterwards, but the restore keeps the row's RNG draw
-	// sequence identical to the serial engine's per-row protocol.
+	// is discarded afterwards, but the restore keeps the row's protocol
+	// identical to the serial engine's.
 	if err := ch.restore(origFreqKHz); err != nil {
-		return 0, 0, err
+		return 0, 0, st, err
 	}
-	return p.Reboots, sim.Duration(p.Sim.Now()), nil
+	return p.Reboots, sim.Duration(p.Sim.Now()), st, nil
 }

@@ -220,13 +220,13 @@ func (c *Core) SetRatio(ratio uint8) error {
 	return nil
 }
 
-// analysis runs Eq. 1 for the class at the live operating point. Resolved
-// paths are cached per core (the circuit's path set is immutable), because
-// RunBatch consults the control and class paths on every batch.
-func (c *Core) analysis(path string) timing.Analysis {
+// resolve returns the circuit path for name, caching the lookup per core
+// (the circuit's path set is immutable; linear scan over at most a handful
+// of entries).
+func (c *Core) resolve(path string) timing.Path {
 	for i := range c.pathCache {
 		if c.pathCache[i].name == path {
-			return c.circ.Analyze(c.pathCache[i].path, c.PLL.FreqGHz(), c.VoltageV())
+			return c.pathCache[i].path
 		}
 	}
 	p, ok := c.circ.PathByName(path)
@@ -234,7 +234,14 @@ func (c *Core) analysis(path string) timing.Analysis {
 		panic(fmt.Sprintf("cpu: unknown timing path %q", path))
 	}
 	c.pathCache = append(c.pathCache, resolvedPath{name: path, path: p})
-	return c.circ.Analyze(p, c.PLL.FreqGHz(), c.VoltageV())
+	return p
+}
+
+// analysis runs Eq. 1 for the class at the live operating point. Resolved
+// paths are cached per core, because RunBatch consults the control and
+// class paths on every batch.
+func (c *Core) analysis(path string) timing.Analysis {
+	return c.circ.Analyze(c.resolve(path), c.PLL.FreqGHz(), c.VoltageV())
 }
 
 // FaultProbability returns the per-instruction fault probability of the
@@ -252,6 +259,40 @@ func (c *Core) CrashProbability() float64 {
 // Slack returns the live slack (ps) of the class's timing path.
 func (c *Core) Slack(class Class) float64 {
 	return c.analysis(string(class)).SlackPS
+}
+
+// BatchUpsetProbability lifts a per-instruction upset probability p to the
+// probability of at least one upset in an n-instruction batch,
+// 1-(1-p)^n, computed in log space exactly as RunBatch's crash draw does.
+func BatchUpsetProbability(n int, p float64) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(n) * math.Log1p(-p))
+}
+
+// PredictProbabilities returns the per-instruction fault and control-path
+// violation probabilities this core would read once a mailbox write of
+// offsetMV to the core plane settles at the currently commanded ratio —
+// without programming anything. It mirrors the real path's arithmetic
+// exactly: the offset is quantized through the mailbox encode/decode
+// round-trip, the rail target is nominal(ratio) + offset (the retarget
+// formula, which the regulator settles to exactly), and the frequency is
+// the commanded ratio times the bus clock. After an actual
+// WriteOffsetViaMSR + settle, FaultProbability/CrashProbability therefore
+// return these same values — unless something intercepted the write (an
+// MSR hook, a defense) or re-commanded the operating point, which is
+// precisely the discrepancy the bisection search uses as its tamper check.
+func (c *Core) PredictProbabilities(class Class, offsetMV int) (pFault, pCrash float64) {
+	units := msr.DecodeVoltageOffset(msr.EncodeVoltageOffset(offsetMV, msr.PlaneCore)).OffsetUnits
+	v := (c.spec.NominalMV(c.targetRatio) + msr.UnitsToMV(units)) / 1000.0
+	f := float64(int(c.targetRatio)*c.spec.BusMHz*1000) / 1e6
+	pFault = c.circ.FaultProbability(c.circ.Analyze(c.resolve(string(class)), f, v))
+	pCrash = c.circ.FaultProbability(c.circ.Analyze(c.resolve(models.PathControl), f, v))
+	return pFault, pCrash
 }
 
 // crashCheck samples one control-path traversal; on violation the core
@@ -722,6 +763,29 @@ func (p *Platform) SettleAll() {
 	}
 	// PLL relock is bounded; run a little past the worst case.
 	p.Sim.RunFor(2 * clockgen.DefaultRelock)
+}
+
+// SettleCommanded runs the simulation until the core's commanded operating
+// point is fully realized: rail settled and PLL output at the commanded
+// ratio. SettleAll alone is not always enough: an up-transition's relock
+// event is armed for the rail's settle time as of the P-state command, and
+// a subsequent mailbox write can drag the target low enough that the rail
+// settles long before that stale deadline — leaving the clock at the old
+// ratio past SettleAll's bounded window. Measurement paths that must
+// observe the commanded (f, V) point — the characterizer's probes — call
+// this instead.
+func (p *Platform) SettleCommanded(core int) {
+	c := p.Core(core)
+	// Each SettleAll advances virtual time by at least the relock margin,
+	// and the pending relock deadline is bounded by the rail's full-range
+	// slew, so this converges; the cap is a backstop against a commanded
+	// point that can never be realized.
+	for i := 0; i < 10_000; i++ {
+		if c.VR.Settled() && c.PLL.Ratio() == c.targetRatio {
+			return
+		}
+		p.SettleAll()
+	}
 }
 
 // Seed returns the platform's RNG seed.

@@ -36,13 +36,16 @@ import (
 	"plugvolt/internal/attack"
 	"plugvolt/internal/flight"
 	"plugvolt/internal/models"
+	"plugvolt/internal/rng"
 	"plugvolt/internal/sim"
 	"plugvolt/internal/telemetry"
 )
 
 // AttackNames lists the campaign selectors Config.Attack accepts; "none"
 // idles the fleet under guard for Config.Window instead of attacking it.
-func AttackNames() []string { return []string{"plundervolt", "voltjockey", "v0ltpwn", "none"} }
+func AttackNames() []string {
+	return []string{"plundervolt", "voltjockey", "v0ltpwn", "redteam", "none"}
+}
 
 // MachineError is one machine's failure: which machine, which lifecycle
 // stage ("boot", "characterize", "deploy", "attack") and why. The cause is
@@ -145,10 +148,8 @@ type Config struct {
 // MachineSeed derives machine index's seed from the fleet seed — a pure
 // function of the index, mirroring the characterizer's RowSeed(seed, freq)
 // idiom, so a machine replays identically no matter which worker runs it.
-// The index is offset and spread by a 64-bit odd constant (splitmix64's
-// golden gamma) so neighbouring machines get well-separated seeds.
 func MachineSeed(base int64, index int) int64 {
-	return base ^ (int64(index)+1)*-0x61c8864680b583eb
+	return rng.IndexSeed(base, index)
 }
 
 // AttackSummary is the per-machine campaign outcome in report form.
@@ -160,8 +161,12 @@ type AttackSummary struct {
 	BlockedWrites  int    `json:"blocked_writes"`
 	FaultsObserved int    `json:"faults_observed"`
 	Crashes        int    `json:"crashes"`
-	DurationPS     int64  `json:"duration_ps"`
-	Notes          string `json:"notes,omitempty"`
+	// ProbesToFirstFault is the 1-based probe ordinal at which a
+	// search-based campaign (redteam) landed its first fault; 0 means no
+	// fault, or a fixed-schedule campaign.
+	ProbesToFirstFault int    `json:"probes_to_first_fault,omitempty"`
+	DurationPS         int64  `json:"duration_ps"`
+	Notes              string `json:"notes,omitempty"`
 }
 
 // MachineSummary is one machine's row in the fleet report.
@@ -463,7 +468,8 @@ func runMachine(cfg *Config, idx int, model string, spec *models.Spec, epochs in
 			Name: res.Attack, Succeeded: res.Succeeded, Attempts: res.Attempts,
 			MailboxWrites: res.MailboxWrites, BlockedWrites: res.BlockedWrites,
 			FaultsObserved: res.FaultsObserved, Crashes: res.Crashes,
-			DurationPS: int64(res.Duration), Notes: res.Notes,
+			ProbesToFirstFault: res.ProbesToFirstFault,
+			DurationPS:         int64(res.Duration), Notes: res.Notes,
 		}
 	} else {
 		if epochs < 1 {
@@ -500,6 +506,8 @@ func campaignFor(name string, seed int64) attack.Attack {
 		return attack.DefaultVoltJockey()
 	case "v0ltpwn":
 		return attack.DefaultV0LTpwn()
+	case "redteam":
+		return attack.DefaultRedTeam(seed)
 	default:
 		return nil
 	}

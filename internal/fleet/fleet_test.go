@@ -54,6 +54,34 @@ func TestFleetDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFleetRedTeamDeterminismAcrossWorkers extends the byte-identity
+// contract to the adaptive red-team mode: even though each machine's
+// annealing attacker chooses its probe sequence from its own seeded stream,
+// the fleet report JSON and merged exposition must be byte-identical at
+// -workers 1, 2 and 8.
+func TestFleetRedTeamDeterminismAcrossWorkers(t *testing.T) {
+	base := Config{Machines: 3, Seed: 21, Attack: "redteam"}
+	var wantJSON, wantMetrics []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		j, m := renderFleet(t, cfg)
+		if wantJSON == nil {
+			wantJSON, wantMetrics = j, m
+			continue
+		}
+		if !bytes.Equal(j, wantJSON) {
+			t.Errorf("workers=%d: red-team report JSON diverges from workers=1", workers)
+		}
+		if !bytes.Equal(m, wantMetrics) {
+			t.Errorf("workers=%d: red-team merged exposition diverges from workers=1", workers)
+		}
+	}
+	if !bytes.Contains(wantJSON, []byte(`"redteam"`)) {
+		t.Error("report carries no red-team outcome")
+	}
+}
+
 // TestFleetGuardProtects sanity-checks the simulated outcome: a guarded
 // mixed fleet under attack sees interventions and no successful campaigns.
 func TestFleetGuardProtects(t *testing.T) {

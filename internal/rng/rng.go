@@ -1,0 +1,77 @@
+// Package rng provides the repository's splitmix64-based seed derivation
+// and a tiny deterministic uniform stream.
+//
+// Two idioms recur across the codebase: deriving a well-separated child
+// seed from a base seed and a small index (fleet machines, search seeds),
+// and drawing a short fixed sequence of uniforms that is a pure function
+// of a seed (the characterizer's coupled probe thresholds, the annealer's
+// proposal stream). Both previously lived as open-coded constants; this
+// package is the single tested implementation.
+//
+// splitmix64 (Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA '14) is used because it is stateless-derivable: the
+// k-th output is a pure function of (seed, k), which is exactly the shape
+// the repo's worker-count-invariance proofs need — no stream can depend on
+// which goroutine consumed it first.
+package rng
+
+// Gamma is splitmix64's golden-ratio increment as a signed 64-bit
+// constant: the two's-complement bit pattern of 0x9E3779B97F4A7C15. The
+// fleet's MachineSeed derivation multiplies by it; keeping the signed
+// spelling here preserves that derivation bit for bit.
+const Gamma int64 = -0x61c8864680b583eb
+
+// gammaU is Gamma's unsigned bit pattern, the canonical splitmix64
+// increment (constant conversions between the two overflow at compile
+// time, so both spellings are written out).
+const gammaU uint64 = 0x9E3779B97F4A7C15
+
+// IndexSeed derives child seed `index` from a base seed: a pure function
+// of the index, so a derived stream replays identically no matter which
+// worker consumes it. The index is offset by one (index 0 must not map to
+// the base seed itself) and spread by Gamma so neighbouring indices get
+// well-separated seeds. This is the fleet's MachineSeed derivation.
+func IndexSeed(base int64, index int) int64 {
+	return base ^ (int64(index)+1)*Gamma
+}
+
+// mix64 is splitmix64's output function: a bijective avalanche of the
+// advanced state.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// SplitMix64 is the raw splitmix64 stream. The zero value is a valid
+// generator seeded with 0; use New to seed it.
+type SplitMix64 struct{ state uint64 }
+
+// New returns a stream whose outputs are a pure function of seed.
+func New(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// NewSeeded is New for the repo's signed seeds.
+func NewSeeded(seed int64) *SplitMix64 { return New(uint64(seed)) }
+
+// Next returns the next 64-bit output.
+func (s *SplitMix64) Next() uint64 {
+	s.state += gammaU
+	return mix64(s.state)
+}
+
+// Float64 returns a uniform in [0, 1) with 53 bits of precision, the same
+// construction math/rand uses (top 53 bits / 2^53).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Next() % uint64(n))
+}

@@ -1,0 +1,222 @@
+// Package search implements the deterministic glitch-parameter search
+// primitives the characterizer and the red-team attacker share:
+//
+//   - BisectFirst: O(log N) binary search for the first index where a
+//     monotone predicate flips, with every probe cross-checked by the
+//     caller (a probe that contradicts monotonicity aborts the search so
+//     the caller can fall back to a linear scan);
+//   - Anneal: seeded simulated annealing over a small discrete parameter
+//     space (frequency, offset, dwell, phase), driven entirely by a
+//     splitmix64 stream so a fixed seed replays the exact probe sequence.
+//
+// The package is deliberately free of platform types: callers supply probe
+// closures, so the same machinery searches a characterization row (probe =
+// program + settle + measure) and a live victim (probe = glitch + run
+// workload). That keeps the determinism argument local — nothing in here
+// reads a clock, a map, or global state.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"plugvolt/internal/rng"
+)
+
+// ErrNonMonotone is the sentinel a probe closure returns (wrapped) when it
+// detects that the searched predicate is not actually monotone — e.g. the
+// characterizer's probe finds a measured outcome contradicting its analytic
+// prediction. BisectFirst aborts and surfaces it so the caller can fall
+// back to a linear scan.
+var ErrNonMonotone = errors.New("search: probed outcomes contradict monotonicity")
+
+// BisectFirst locates the smallest index in [0, n) for which probe
+// returns true, assuming the predicate is monotone (false* true*). It
+// returns n when the predicate is false everywhere. The second result is
+// the number of probe calls issued — the caller's probes-saved accounting.
+//
+// Monotonicity is the caller's to guarantee: binary search's own probe
+// sequence is always mutually consistent with *some* monotone predicate
+// (every probe lands strictly between the deepest false and the shallowest
+// true seen so far), so a violation can only be detected by knowledge the
+// closure itself carries. Callers embed their property check in the probe —
+// return an error wrapping ErrNonMonotone — and BisectFirst aborts with it.
+// What the search does guarantee on success is boundary adjacency: when
+// 0 < first < n, index first was probed true and first-1 was probed false.
+func BisectFirst(n int, probe func(i int) (bool, error)) (first, probes int, err error) {
+	if n <= 0 {
+		return 0, 0, nil
+	}
+	lo, hi := 0, n // invariant: every probe < lo was false, every probe >= hi was true
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		v, perr := probe(mid)
+		probes++
+		if perr != nil {
+			return 0, probes, perr
+		}
+		if v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, probes, nil
+}
+
+// Axis is one dimension of the annealer's discrete search space.
+type Axis struct {
+	// Name labels the axis in traces ("freq", "offset", "dwell", "phase").
+	Name string
+	// Size is the number of grid points on the axis (indices 0..Size-1).
+	Size int
+}
+
+// Eval measures one candidate glitch. probe is the 0-based probe ordinal
+// (for tracing); state holds one index per axis. It returns the candidate's
+// cost (lower is better), whether the glitch faulted the victim, and a
+// terminal error (which aborts the search).
+type Eval func(probe int, state []int) (cost float64, faulted bool, err error)
+
+// AnnealConfig parameterizes the annealer. The zero value is invalid; use
+// DefaultAnnealConfig for sane settings.
+type AnnealConfig struct {
+	// Seed drives the proposal/acceptance stream (splitmix64-derived);
+	// a fixed seed replays the exact probe sequence.
+	Seed int64
+	// Steps is the number of probes (evaluations) to spend.
+	Steps int
+	// InitTemp is the Metropolis temperature at step 0; Cool is the
+	// geometric decay applied per step (T_k = InitTemp * Cool^k).
+	InitTemp, Cool float64
+	// MaxStride bounds how far along one axis a proposal may move
+	// (uniform in [1, MaxStride]).
+	MaxStride int
+	// OnProbe, when set, observes every evaluation after it completes —
+	// the hook the attack layer uses to emit one search-trace span per
+	// probe. Must not mutate state.
+	OnProbe func(probe int, state []int, cost float64, faulted, accepted bool)
+}
+
+// DefaultAnnealConfig returns the tuning the red-team attacker uses.
+func DefaultAnnealConfig(seed int64, steps int) AnnealConfig {
+	return AnnealConfig{Seed: seed, Steps: steps, InitTemp: 200, Cool: 0.97, MaxStride: 3}
+}
+
+// AnnealResult summarizes one annealing run.
+type AnnealResult struct {
+	// Probes is the number of evaluations spent.
+	Probes int
+	// FirstFaultProbe is the 1-based probe ordinal of the first faulting
+	// candidate, 0 if no probe faulted — the time-to-first-fault metric.
+	FirstFaultProbe int
+	// Best is the lowest-cost faulting state found (one index per axis);
+	// nil when no candidate faulted.
+	Best []int
+	// BestCost is Best's cost (math.Inf(1) when Best is nil).
+	BestCost float64
+	// Accepted counts Metropolis-accepted moves (diagnostic).
+	Accepted int
+}
+
+// Anneal runs seeded simulated annealing over the axes. The walk starts at
+// every axis's midpoint, proposes single-axis strides, and accepts with the
+// Metropolis rule under a geometric cooling schedule. All randomness comes
+// from one splitmix64 stream seeded by cfg.Seed, so the probe sequence —
+// and therefore the result — is a pure function of (axes, cfg, eval).
+func Anneal(axes []Axis, cfg AnnealConfig, eval Eval) (*AnnealResult, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("search: no axes")
+	}
+	for _, a := range axes {
+		if a.Size <= 0 {
+			return nil, fmt.Errorf("search: axis %q has size %d", a.Name, a.Size)
+		}
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("search: steps %d", cfg.Steps)
+	}
+	if cfg.InitTemp <= 0 || cfg.Cool <= 0 || cfg.Cool > 1 {
+		return nil, fmt.Errorf("search: bad schedule (temp %v, cool %v)", cfg.InitTemp, cfg.Cool)
+	}
+	stride := cfg.MaxStride
+	if stride < 1 {
+		stride = 1
+	}
+
+	stream := rng.NewSeeded(cfg.Seed)
+	cur := make([]int, len(axes))
+	for i, a := range axes {
+		cur[i] = a.Size / 2
+	}
+	res := &AnnealResult{BestCost: math.Inf(1)}
+
+	curCost, initFault, err := evalStep(res, cfg, eval, cur, true)
+	if err != nil {
+		return nil, err
+	}
+	note(res, cur, curCost, initFault)
+
+	cand := make([]int, len(axes))
+	temp := cfg.InitTemp
+	for res.Probes < cfg.Steps {
+		copy(cand, cur)
+		// Single-axis proposal: pick an axis, stride up or down, clamp.
+		ax := stream.Intn(len(axes))
+		step := 1 + stream.Intn(stride)
+		if stream.Float64() < 0.5 {
+			step = -step
+		}
+		cand[ax] += step
+		if cand[ax] < 0 {
+			cand[ax] = 0
+		}
+		if cand[ax] >= axes[ax].Size {
+			cand[ax] = axes[ax].Size - 1
+		}
+		cost, faulted, err := evalStep(res, cfg, eval, cand, false)
+		if err != nil {
+			return nil, err
+		}
+		note(res, cand, cost, faulted)
+		accept := cost <= curCost || stream.Float64() < math.Exp((curCost-cost)/temp)
+		if accept {
+			copy(cur, cand)
+			curCost = cost
+			res.Accepted++
+		}
+		if cfg.OnProbe != nil {
+			cfg.OnProbe(res.Probes, cand, cost, faulted, accept)
+		}
+		temp *= cfg.Cool
+	}
+	return res, nil
+}
+
+// evalStep runs one evaluation, counting the probe.
+func evalStep(res *AnnealResult, cfg AnnealConfig, eval Eval, state []int, initial bool) (float64, bool, error) {
+	cost, faulted, err := eval(res.Probes, state)
+	res.Probes++
+	if err != nil {
+		return 0, false, err
+	}
+	if initial && cfg.OnProbe != nil {
+		cfg.OnProbe(res.Probes-1, state, cost, faulted, true)
+	}
+	return cost, faulted, nil
+}
+
+// note records fault bookkeeping for one evaluated candidate.
+func note(res *AnnealResult, state []int, cost float64, faulted bool) {
+	if !faulted {
+		return
+	}
+	if res.FirstFaultProbe == 0 {
+		res.FirstFaultProbe = res.Probes // 1-based: Probes was already incremented
+	}
+	if cost < res.BestCost {
+		res.BestCost = cost
+		res.Best = append(res.Best[:0], state...)
+	}
+}

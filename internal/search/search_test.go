@@ -1,0 +1,200 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestBisectFirstFindsEveryBoundary(t *testing.T) {
+	const n = 300
+	for first := 0; first <= n; first++ {
+		got, probes, err := BisectFirst(n, func(i int) (bool, error) { return i >= first, nil })
+		if err != nil {
+			t.Fatalf("first=%d: %v", first, err)
+		}
+		if got != first {
+			t.Fatalf("first=%d: got %d", first, got)
+		}
+		if max := 9; probes > max { // ceil(log2(300)) = 9
+			t.Fatalf("first=%d: %d probes, want <= %d", first, probes, max)
+		}
+	}
+}
+
+func TestBisectFirstEmptyRange(t *testing.T) {
+	got, probes, err := BisectFirst(0, func(int) (bool, error) {
+		t.Fatal("probe called on empty range")
+		return false, nil
+	})
+	if err != nil || got != 0 || probes != 0 {
+		t.Fatalf("got (%d, %d, %v)", got, probes, err)
+	}
+}
+
+func TestBisectFirstPropagatesProbeError(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := BisectFirst(100, func(int) (bool, error) { return false, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestBisectFirstSurfacesNonMonotone: detection of a broken invariant
+// lives in the probe closure (it knows what the outcome *should* be); the
+// search must abort with the closure's wrapped ErrNonMonotone.
+func TestBisectFirstSurfacesNonMonotone(t *testing.T) {
+	predicted := func(i int) bool { return i >= 40 }
+	measured := func(i int) bool { return i >= 40 && i < 45 } // dip above 45
+	_, _, err := BisectFirst(100, func(i int) (bool, error) {
+		m := measured(i)
+		if m != predicted(i) {
+			return false, fmt.Errorf("index %d: measured %v, predicted %v: %w",
+				i, m, predicted(i), ErrNonMonotone)
+		}
+		return m, nil
+	})
+	if !errors.Is(err, ErrNonMonotone) {
+		t.Fatalf("expected ErrNonMonotone, got %v", err)
+	}
+}
+
+// TestBisectFirstAdjacencyProbed: the doc guarantee that the returned
+// boundary and its predecessor were both actually probed.
+func TestBisectFirstAdjacencyProbed(t *testing.T) {
+	for first := 0; first <= 37; first++ {
+		probed := map[int]bool{}
+		got, _, err := BisectFirst(37, func(i int) (bool, error) {
+			probed[i] = true
+			return i >= first, nil
+		})
+		if err != nil || got != first {
+			t.Fatalf("first=%d: got %d err %v", first, got, err)
+		}
+		if got < 37 && !probed[got] {
+			t.Fatalf("first=%d: boundary not probed", first)
+		}
+		if got > 0 && !probed[got-1] {
+			t.Fatalf("first=%d: predecessor not probed", first)
+		}
+	}
+}
+
+// landscape is a deterministic test objective: fault iff offset index deep
+// enough at the row's frequency; cost prefers shallow faulting glitches.
+func landscape(state []int) (float64, bool) {
+	freq, off := state[0], state[1]
+	onset := 20 + freq // deeper onset at higher axis index
+	faulted := off >= onset
+	if faulted {
+		return float64(off), true
+	}
+	return 1000 + float64(onset-off), false
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	axes := []Axis{{Name: "freq", Size: 30}, {Name: "offset", Size: 70}}
+	run := func() (*AnnealResult, []string) {
+		var tr []string
+		cfg := DefaultAnnealConfig(42, 200)
+		cfg.OnProbe = func(p int, s []int, c float64, f, a bool) {
+			tr = append(tr, fmt.Sprintf("%d:%v:%.1f:%v:%v", p, s, c, f, a))
+		}
+		res, err := Anneal(axes, cfg, func(_ int, s []int) (float64, bool, error) {
+			c, f := landscape(s)
+			return c, f, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("results diverged:\n%+v\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("probe traces diverged")
+	}
+	if r1.FirstFaultProbe == 0 {
+		t.Fatalf("no fault found: %+v", r1)
+	}
+	if r1.Best == nil || r1.BestCost == math.Inf(1) {
+		t.Fatalf("no best state recorded: %+v", r1)
+	}
+}
+
+func TestAnnealSeedsDiverge(t *testing.T) {
+	axes := []Axis{{Name: "freq", Size: 30}, {Name: "offset", Size: 70}}
+	eval := func(_ int, s []int) (float64, bool, error) {
+		c, f := landscape(s)
+		return c, f, nil
+	}
+	a, err := Anneal(axes, DefaultAnnealConfig(1, 100), eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(axes, DefaultAnnealConfig(2, 100), eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("different seeds produced identical runs: %+v", a)
+	}
+}
+
+// TestAnnealFindsMinimalGlitch: with a generous budget the walk should get
+// near the true minimal faulting offset, not merely any faulting one.
+func TestAnnealFindsMinimalGlitch(t *testing.T) {
+	axes := []Axis{{Name: "freq", Size: 10}, {Name: "offset", Size: 100}}
+	res, err := Anneal(axes, DefaultAnnealConfig(7, 600), func(_ int, s []int) (float64, bool, error) {
+		c, f := landscape(s)
+		return c, f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global minimum: freq=0, offset=20, cost 20. Accept anything close.
+	if res.Best == nil || res.BestCost > 30 {
+		t.Fatalf("best %v cost %v, want cost <= 30", res.Best, res.BestCost)
+	}
+	if res.Probes != 600 {
+		t.Fatalf("probes = %d, want the full budget 600", res.Probes)
+	}
+}
+
+func TestAnnealConfigValidation(t *testing.T) {
+	eval := func(_ int, _ []int) (float64, bool, error) { return 0, false, nil }
+	cases := []struct {
+		axes []Axis
+		cfg  AnnealConfig
+	}{
+		{nil, DefaultAnnealConfig(1, 10)},
+		{[]Axis{{Name: "x", Size: 0}}, DefaultAnnealConfig(1, 10)},
+		{[]Axis{{Name: "x", Size: 3}}, AnnealConfig{Seed: 1, Steps: 0, InitTemp: 1, Cool: 0.9}},
+		{[]Axis{{Name: "x", Size: 3}}, AnnealConfig{Seed: 1, Steps: 5, InitTemp: 0, Cool: 0.9}},
+		{[]Axis{{Name: "x", Size: 3}}, AnnealConfig{Seed: 1, Steps: 5, InitTemp: 1, Cool: 1.5}},
+	}
+	for i, c := range cases {
+		if _, err := Anneal(c.axes, c.cfg, eval); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAnnealPropagatesEvalError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Anneal([]Axis{{Name: "x", Size: 5}}, DefaultAnnealConfig(1, 10),
+		func(p int, _ []int) (float64, bool, error) {
+			if p == 3 {
+				return 0, false, boom
+			}
+			return 1, false, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
